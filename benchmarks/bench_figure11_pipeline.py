@@ -1,0 +1,54 @@
+"""Figures 3 and 11: overlap of stages in the non-integrated vs integrated design.
+
+Uses the analytical pipeline model to regenerate the schedule of Figure 11:
+with four stages (Compute, Output, Input, Analysis) over ``n`` data blocks,
+the non-integrated design takes ``n * sum(stage times)`` while the integrated
+(pipelined) design takes ``sum(stage times) + (n - 1) * max(stage times)``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.core import pipeline_makespan, pipeline_schedule, sequential_makespan
+
+STAGES = ("compute", "output", "input", "analysis")
+STAGE_TIMES = (1.0, 0.6, 0.4, 0.8)
+
+
+def run_pipeline_model(num_blocks: int):
+    schedule = pipeline_schedule(num_blocks, STAGE_TIMES, STAGES)
+    return {
+        "sequential": sequential_makespan(num_blocks, STAGE_TIMES),
+        "pipelined": pipeline_makespan(num_blocks, STAGE_TIMES),
+        "schedule": schedule,
+    }
+
+
+def test_figure11_pipeline_overlap(benchmark, report):
+    num_blocks = 64
+    out = benchmark.pedantic(run_pipeline_model, args=(num_blocks,), rounds=1, iterations=1)
+
+    rows = [
+        ["non-integrated (upper)", out["sequential"], 1.0],
+        [
+            "integrated / pipelined (lower)",
+            out["pipelined"],
+            out["sequential"] / out["pipelined"],
+        ],
+    ]
+    report(
+        format_table(
+            ["design", f"makespan for {num_blocks} blocks (s)", "speedup"],
+            rows,
+            title="Figure 11: non-integrated vs integrated design "
+            f"(per-block stage times {dict(zip(STAGES, STAGE_TIMES))})",
+        )
+    )
+
+    # The integrated design approaches one-slowest-stage-per-block.
+    assert out["pipelined"] < out["sequential"]
+    assert abs(out["pipelined"] - (sum(STAGE_TIMES) + (num_blocks - 1) * max(STAGE_TIMES))) < 1e-9
+    # Several blocks are in flight at once (Figure 11's caption): block 0's
+    # analysis is still running when block 2's compute starts.
+    schedule = out["schedule"]
+    assert schedule[2]["compute"][0] < schedule[0]["analysis"][1]

@@ -1,0 +1,60 @@
+"""Figure 13: performance-model validation in the Preserve mode.
+
+Same configurations as Figure 12, but every computed block is also persisted
+to the parallel file system.  The paper's finding: the end-to-end time becomes
+almost equal to the time spent storing the results, since writing the full
+3,136 GB dominates every other stage.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_data_mib
+
+from repro.bench import format_table
+from repro.bench.experiments import figure13_configs
+from repro.workflow import run_workflow
+
+MiB = 1024 * 1024
+
+
+def run_figure13(data_per_rank: int):
+    results = {}
+    for label, cfg in figure13_configs(data_per_rank=data_per_rank):
+        results[label] = run_workflow(cfg)
+    return results
+
+
+def test_figure13_preserve_breakdown(benchmark, report):
+    data_per_rank = bench_data_mib() * MiB
+    results = benchmark.pedantic(run_figure13, args=(data_per_rank,), rounds=1, iterations=1)
+
+    rows = []
+    for label, result in results.items():
+        rows.append(
+            [
+                label,
+                result.breakdown.simulation,
+                result.breakdown.transfer,
+                result.breakdown.store,
+                result.breakdown.analysis,
+                result.end_to_end_time,
+                result.breakdown.dominant(),
+            ]
+        )
+    report(
+        format_table(
+            ["config", "sim (s)", "transfer (s)", "store (s)", "analysis (s)", "end-to-end (s)", "dominant"],
+            rows,
+            title=f"Figure 13 (Preserve, {data_per_rank // MiB} MiB/rank): storing data dominates",
+        )
+    )
+
+    # In Preserve mode the store stage dominates for the cheap producers and
+    # every run persisted all of its blocks.
+    for label, result in results.items():
+        assert result.stats.get("blocks_preserved", 0) + result.stats.get("blocks_stolen", 0) >= result.stats.get(
+            "blocks_produced", 0
+        ) * 0.999
+    assert results["O(n)/1MB"].breakdown.dominant() == "store"
+    # Preserve-mode end-to-end exceeds the matching No-Preserve stage times.
+    assert results["O(n)/1MB"].end_to_end_time >= results["O(n)/1MB"].breakdown.transfer

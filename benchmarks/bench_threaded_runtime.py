@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the real (threaded) Zipper runtime and the numerical kernels.
+
+Unlike the figure benches (which drive the cluster simulator), these measure
+actual wall-clock of the library's hot paths with ``pytest-benchmark``:
+
+* end-to-end throughput of the threaded Zipper runtime coupling a producer and
+  a consumer through the in-memory message channel;
+* the same with the dual-channel (spill-to-disk) path forced on;
+* one time step of the lattice-Boltzmann solver and of the Lennard-Jones MD
+  mini-app;
+* the streaming n-th-moment analysis kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.analysis import StreamingMoments
+from repro.apps.lbm import LatticeBoltzmannD2Q9
+from repro.apps.md import LennardJonesMD
+from repro.core import BlockId, ZipperConfig, zip_applications
+
+
+def _run_zipper_session(blocks: int, elements: int, config: ZipperConfig):
+    data = np.random.default_rng(0).standard_normal(elements)
+
+    def produce(writer):
+        for i in range(blocks):
+            writer.write(BlockId(step=i, source_rank=0, block_index=0), data)
+
+    def analyze(reader):
+        moments = StreamingMoments(max_order=2)
+        for block in reader.blocks():
+            moments.update(block.data)
+        return moments.blocks_consumed
+
+    result = zip_applications(produce, analyze, config)
+    assert result.consumer_result == blocks
+    return result
+
+
+def test_threaded_zipper_memory_path(benchmark):
+    config = ZipperConfig(block_size=64 * 1024, producer_buffer_blocks=32, high_water_mark=28)
+    result = benchmark.pedantic(
+        _run_zipper_session, args=(64, 8192, config), rounds=3, iterations=1
+    )
+    assert result.blocks_produced == 64
+
+
+def test_threaded_zipper_dual_channel(benchmark, tmp_path):
+    # Throttle the message path so the work-stealing writer engages.
+    config = ZipperConfig(
+        block_size=64 * 1024,
+        producer_buffer_blocks=8,
+        high_water_mark=4,
+        network_bandwidth=20e6,
+        spill_dir=tmp_path,
+    )
+    result = benchmark.pedantic(
+        _run_zipper_session, args=(48, 8192, config), rounds=1, iterations=1
+    )
+    assert result.blocks_stolen > 0
+
+
+def test_lbm_step(benchmark):
+    solver = LatticeBoltzmannD2Q9(nx=128, ny=64)
+    benchmark(solver.step)
+    assert solver.step_count > 0
+
+
+def test_lennard_jones_step(benchmark):
+    md = LennardJonesMD(cells_per_side=3)
+    benchmark(md.step)
+    assert md.step_count > 0
+
+
+def test_streaming_moments_update(benchmark):
+    moments = StreamingMoments(max_order=4)
+    data = np.random.default_rng(1).standard_normal(1 << 18)
+    benchmark(moments.update, data)
+    assert moments.count > 0

@@ -1,0 +1,49 @@
+"""Proxy applications and analysis kernels used by the paper's evaluation.
+
+Every workload in Table 3 of the paper is implemented twice:
+
+* as a **real numerical kernel** (NumPy) that can be run directly and coupled
+  through the threaded Zipper runtime — the lattice-Boltzmann CFD solver
+  (:mod:`repro.apps.lbm`), the Lennard-Jones molecular-dynamics mini-app
+  (:mod:`repro.apps.md`), the synthetic O(n) / O(n log n) / O(n^{3/2})
+  producers (:mod:`repro.apps.synthetic`) and the analysis kernels
+  (:mod:`repro.apps.analysis`);
+* as a **cost model** (:mod:`repro.apps.costs`) that tells the cluster
+  simulator how long one step takes, how much data it emits and how expensive
+  the coupled analysis is, calibrated against the wall-clock numbers quoted in
+  the paper.
+"""
+
+from repro.apps.synthetic import (
+    SyntheticProducer,
+    SYNTHETIC_COMPLEXITIES,
+    synthetic_producer,
+)
+from repro.apps.costs import (
+    WorkloadModel,
+    cfd_workload,
+    lammps_workload,
+    synthetic_workload,
+)
+from repro.apps.analysis import (
+    nth_moment,
+    standard_variance,
+    velocity_moments,
+    MeanSquaredDisplacement,
+    StreamingMoments,
+)
+
+__all__ = [
+    "SyntheticProducer",
+    "SYNTHETIC_COMPLEXITIES",
+    "synthetic_producer",
+    "WorkloadModel",
+    "cfd_workload",
+    "lammps_workload",
+    "synthetic_workload",
+    "nth_moment",
+    "standard_variance",
+    "velocity_moments",
+    "MeanSquaredDisplacement",
+    "StreamingMoments",
+]

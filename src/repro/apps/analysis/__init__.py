@@ -1,0 +1,26 @@
+"""Analysis kernels coupled with the proxy simulations (paper Table 3).
+
+* n-th moment of the velocity distribution (turbulence statistics) for the CFD
+  workflow;
+* standard-variance computation for the synthetic workflows;
+* mean-squared displacement (MSD) for the LAMMPS workflow;
+* streaming (incremental) variants used by the in-situ examples, which receive
+  the data one fine-grain block at a time.
+"""
+
+from repro.apps.analysis.moments import (
+    nth_moment,
+    standard_variance,
+    velocity_moments,
+    StreamingMoments,
+)
+from repro.apps.analysis.msd import MeanSquaredDisplacement, mean_squared_displacement
+
+__all__ = [
+    "nth_moment",
+    "standard_variance",
+    "velocity_moments",
+    "StreamingMoments",
+    "MeanSquaredDisplacement",
+    "mean_squared_displacement",
+]

@@ -1,0 +1,120 @@
+"""Velocity-moment (turbulence) statistics and standard variance.
+
+The CFD workflow's analysis computes the n-th moment of the velocity
+distribution, ``E[u(x, t)^n]``; when all moments are available the probability
+density function of the velocity fluctuation can be reconstructed (paper
+Section 6.3.1).  The synthetic workflows' analysis reduces every block to its
+standard variance.  Both are provided in batch form and in a streaming form
+(:class:`StreamingMoments`) that consumes fine-grain blocks incrementally —
+the shape an in-situ analysis actually takes when fed by Zipper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["nth_moment", "standard_variance", "velocity_moments", "StreamingMoments"]
+
+
+def nth_moment(values: np.ndarray, n: int, central: bool = False) -> float:
+    """The n-th (optionally central) moment ``E[u^n]`` of ``values``."""
+    if n < 0:
+        raise ValueError("the moment order must be non-negative")
+    arr = np.asarray(values, dtype=float).reshape(-1)
+    if arr.size == 0:
+        raise ValueError("cannot compute a moment of an empty array")
+    if central:
+        arr = arr - arr.mean()
+    return float(np.mean(arr**n))
+
+
+def standard_variance(values: np.ndarray) -> float:
+    """Population variance of ``values`` (the synthetic workloads' reduction)."""
+    arr = np.asarray(values, dtype=float).reshape(-1)
+    if arr.size == 0:
+        raise ValueError("cannot compute the variance of an empty array")
+    return float(np.var(arr))
+
+
+def velocity_moments(velocity: np.ndarray, max_order: int = 4) -> Dict[int, float]:
+    """Moments 1..max_order of a velocity field (the paper uses n = 4)."""
+    if max_order < 1:
+        raise ValueError("max_order must be at least 1")
+    return {n: nth_moment(velocity, n) for n in range(1, max_order + 1)}
+
+
+class StreamingMoments:
+    """Incremental raw moments over a stream of data blocks.
+
+    Accumulates ``sum(u^k)`` for ``k = 1..max_order`` and the element count, so
+    the exact moments of the full data set are available at any time without
+    holding more than one block in memory.  The merge operation makes the
+    reduction associative, which is what allows every analysis rank to work
+    independently and combine results at the end.
+    """
+
+    def __init__(self, max_order: int = 4):
+        if max_order < 1:
+            raise ValueError("max_order must be at least 1")
+        self.max_order = max_order
+        self.count = 0
+        self._sums = np.zeros(max_order, dtype=float)
+        self.blocks_consumed = 0
+
+    def update(self, values: np.ndarray) -> "StreamingMoments":
+        """Fold one block of data into the accumulator."""
+        arr = np.asarray(values, dtype=float).reshape(-1)
+        if arr.size == 0:
+            return self
+        powers = arr.copy()
+        for k in range(self.max_order):
+            self._sums[k] += powers.sum()
+            if k + 1 < self.max_order:
+                powers *= arr
+        self.count += arr.size
+        self.blocks_consumed += 1
+        return self
+
+    def moment(self, n: int) -> float:
+        """The current estimate of ``E[u^n]``."""
+        if not 1 <= n <= self.max_order:
+            raise ValueError(f"n must lie in [1, {self.max_order}]")
+        if self.count == 0:
+            raise ValueError("no data has been consumed yet")
+        return float(self._sums[n - 1] / self.count)
+
+    def moments(self) -> Dict[int, float]:
+        return {n: self.moment(n) for n in range(1, self.max_order + 1)}
+
+    @property
+    def mean(self) -> float:
+        return self.moment(1)
+
+    @property
+    def variance(self) -> float:
+        """Population variance derived from the first two raw moments."""
+        if self.max_order < 2:
+            raise ValueError("variance needs max_order >= 2")
+        return self.moment(2) - self.moment(1) ** 2
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Combine two independent accumulators (associative reduction)."""
+        if other.max_order != self.max_order:
+            raise ValueError("cannot merge accumulators of different order")
+        merged = StreamingMoments(self.max_order)
+        merged.count = self.count + other.count
+        merged._sums = self._sums + other._sums
+        merged.blocks_consumed = self.blocks_consumed + other.blocks_consumed
+        return merged
+
+    @staticmethod
+    def merge_all(parts: Iterable["StreamingMoments"]) -> "StreamingMoments":
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merge_all needs at least one accumulator")
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.merge(part)
+        return merged

@@ -1,0 +1,28 @@
+"""Lattice-Boltzmann CFD proxy application.
+
+The paper's CFD workload is a 3-D channel-flow simulation built on the
+lattice Boltzmann method, with three kernels per time step — collision (CL),
+streaming (ST), and a macroscopic update (UD) — and one velocity-field output
+per step that feeds an n-th-moment turbulence analysis.
+
+This package provides a genuine D2Q9 lattice-Boltzmann solver
+(:class:`~repro.apps.lbm.d2q9.LatticeBoltzmannD2Q9`) exposing the same three
+per-step phases, a domain-decomposition helper
+(:class:`~repro.apps.lbm.domain.DomainDecomposition`), and a channel-flow
+driver (:func:`~repro.apps.lbm.channel.channel_flow`) used by the examples and
+tests.  The per-step cost and output volume used in the cluster simulation are
+calibrated in :mod:`repro.apps.costs`.
+"""
+
+from repro.apps.lbm.d2q9 import LatticeBoltzmannD2Q9, LBMState
+from repro.apps.lbm.domain import DomainDecomposition, Subdomain
+from repro.apps.lbm.channel import channel_flow, poiseuille_profile
+
+__all__ = [
+    "LatticeBoltzmannD2Q9",
+    "LBMState",
+    "DomainDecomposition",
+    "Subdomain",
+    "channel_flow",
+    "poiseuille_profile",
+]

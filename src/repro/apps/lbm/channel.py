@@ -1,0 +1,60 @@
+"""Channel-flow driver and analytic reference solution for the LBM proxy."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.apps.lbm.d2q9 import LatticeBoltzmannD2Q9, LBMState
+
+__all__ = ["channel_flow", "poiseuille_profile"]
+
+
+def poiseuille_profile(ny: int, body_force: float, viscosity: float) -> np.ndarray:
+    """Analytic steady-state x-velocity profile of a body-force-driven channel.
+
+    With solid walls occupying the ``y = 0`` and ``y = ny - 1`` lattice rows,
+    the fluid spans a width ``H = ny - 2`` and the steady solution of the
+    Navier-Stokes equations is the parabola
+    ``u(y) = g / (2 nu) * y_f * (H - y_f)`` where ``y_f`` is the distance from
+    the lower wall (measured at cell centres, walls at half-cell offsets).
+    """
+    if ny < 4:
+        raise ValueError("ny must be at least 4")
+    if viscosity <= 0:
+        raise ValueError("viscosity must be positive")
+    h = float(ny - 2)
+    y = np.arange(ny, dtype=float) - 0.5  # distance of cell centres from the wall face
+    profile = body_force / (2.0 * viscosity) * y * (h - y)
+    profile[0] = 0.0
+    profile[-1] = 0.0
+    return np.clip(profile, 0.0, None)
+
+
+def channel_flow(
+    nx: int = 64,
+    ny: int = 32,
+    steps: int = 200,
+    tau: float = 0.8,
+    body_force: float = 1.0e-5,
+    output_every: int = 1,
+    on_step: Optional[Callable[[LBMState], None]] = None,
+) -> Iterator[LBMState]:
+    """Run a 2-D channel flow, yielding the macroscopic state every ``output_every`` steps.
+
+    This is the producer side of the CFD examples: each yielded state is what
+    the simulation would hand to Zipper (or to a baseline transport) as one
+    step's output.
+    """
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    if output_every <= 0:
+        raise ValueError("output_every must be positive")
+    solver = LatticeBoltzmannD2Q9(nx=nx, ny=ny, tau=tau, body_force=body_force)
+    for step in range(steps):
+        state = solver.step()
+        if on_step is not None:
+            on_step(state)
+        if (step + 1) % output_every == 0:
+            yield state

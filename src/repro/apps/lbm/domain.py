@@ -1,0 +1,95 @@
+"""Domain decomposition helpers for the LBM proxy application.
+
+The paper's CFD workflow assigns every simulation process a subgrid of
+64 x 64 x 256 cells of a global 16384 x 64 x 256 domain (a 1-D decomposition
+along the first axis).  :class:`DomainDecomposition` reproduces that layout in
+2-D: it partitions the ``x`` axis across ranks, computes each rank's subgrid
+and neighbours, and provides the halo-exchange pairing the streaming phase
+needs — which is exactly the ``MPI_Sendrecv`` traffic whose slowdown under
+staging-library interference the paper traces in Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["Subdomain", "DomainDecomposition"]
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One rank's portion of the global lattice."""
+
+    rank: int
+    x_start: int
+    x_end: int  #: exclusive
+    ny: int
+
+    @property
+    def nx(self) -> int:
+        return self.x_end - self.x_start
+
+    @property
+    def cells(self) -> int:
+        return self.nx * self.ny
+
+    def field_bytes(self, fields: int = 3, dtype_bytes: int = 8) -> int:
+        """Bytes of output per step (density + 2 velocity components by default)."""
+        return self.cells * fields * dtype_bytes
+
+    def halo_bytes(self, populations: int = 9, dtype_bytes: int = 8) -> int:
+        """Bytes exchanged with *each* x-neighbour per streaming phase."""
+        return self.ny * populations * dtype_bytes
+
+
+class DomainDecomposition:
+    """1-D block decomposition of an ``nx_global`` x ``ny`` lattice over ``ranks``."""
+
+    def __init__(self, nx_global: int, ny: int, ranks: int):
+        if ranks <= 0:
+            raise ValueError("ranks must be positive")
+        if nx_global < ranks:
+            raise ValueError("cannot give every rank at least one column")
+        if ny <= 0:
+            raise ValueError("ny must be positive")
+        self.nx_global = nx_global
+        self.ny = ny
+        self.ranks = ranks
+
+    def subdomain(self, rank: int) -> Subdomain:
+        """The contiguous slab of ``x`` columns owned by ``rank``."""
+        if not 0 <= rank < self.ranks:
+            raise ValueError(f"rank {rank} out of range")
+        base = self.nx_global // self.ranks
+        extra = self.nx_global % self.ranks
+        start = rank * base + min(rank, extra)
+        size = base + (1 if rank < extra else 0)
+        return Subdomain(rank, start, start + size, self.ny)
+
+    def subdomains(self) -> List[Subdomain]:
+        return [self.subdomain(r) for r in range(self.ranks)]
+
+    def neighbors(self, rank: int) -> Tuple[int, int]:
+        """Periodic left and right neighbours of ``rank`` along ``x``."""
+        if not 0 <= rank < self.ranks:
+            raise ValueError(f"rank {rank} out of range")
+        return ((rank - 1) % self.ranks, (rank + 1) % self.ranks)
+
+    def gather(self, pieces: List[np.ndarray]) -> np.ndarray:
+        """Concatenate per-rank fields back into the global field (for tests)."""
+        if len(pieces) != self.ranks:
+            raise ValueError("need exactly one piece per rank")
+        for rank, piece in enumerate(pieces):
+            expected = self.subdomain(rank)
+            if piece.shape[0] != expected.nx:
+                raise ValueError(
+                    f"rank {rank} piece has {piece.shape[0]} columns, expected {expected.nx}"
+                )
+        return np.concatenate(pieces, axis=0)
+
+    def total_output_bytes(self, fields: int = 3, dtype_bytes: int = 8) -> int:
+        """Output volume of one full step across every rank."""
+        return sum(s.field_bytes(fields, dtype_bytes) for s in self.subdomains())

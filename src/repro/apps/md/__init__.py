@@ -1,0 +1,14 @@
+"""Lennard-Jones molecular-dynamics proxy application (the LAMMPS workload).
+
+The paper's second real-world workflow runs a LAMMPS simulation of
+Lennard-Jones atoms melting from a cold solid, coupled with a mean-squared
+displacement analysis.  :class:`~repro.apps.md.lennard_jones.LennardJonesMD`
+is a self-contained reimplementation of that workload in reduced LJ units:
+an FCC lattice of atoms, a cell-list neighbour search, the truncated 12-6
+potential and velocity-Verlet integration, with per-step position output that
+feeds :class:`~repro.apps.analysis.msd.MeanSquaredDisplacement`.
+"""
+
+from repro.apps.md.lennard_jones import LennardJonesMD, MDState, fcc_lattice
+
+__all__ = ["LennardJonesMD", "MDState", "fcc_lattice"]

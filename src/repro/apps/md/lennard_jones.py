@@ -1,0 +1,218 @@
+"""A cell-list Lennard-Jones molecular-dynamics mini-app (reduced units)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["fcc_lattice", "MDState", "LennardJonesMD"]
+
+
+def fcc_lattice(cells_per_side: int, density: float = 0.8442) -> Tuple[np.ndarray, float]:
+    """Positions of an FCC lattice with ``4 * cells_per_side**3`` atoms.
+
+    Returns ``(positions, box_length)`` with positions inside ``[0, L)^3``;
+    the default density is the classic LAMMPS "melt" benchmark value.
+    """
+    if cells_per_side <= 0:
+        raise ValueError("cells_per_side must be positive")
+    if density <= 0:
+        raise ValueError("density must be positive")
+    n_atoms = 4 * cells_per_side**3
+    box_length = (n_atoms / density) ** (1.0 / 3.0)
+    a = box_length / cells_per_side
+    base = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    )
+    positions = np.empty((n_atoms, 3))
+    idx = 0
+    for i in range(cells_per_side):
+        for j in range(cells_per_side):
+            for k in range(cells_per_side):
+                origin = np.array([i, j, k], dtype=float)
+                positions[idx : idx + 4] = (base + origin) * a
+                idx += 4
+    return positions, box_length
+
+
+@dataclass
+class MDState:
+    """Snapshot of the system after one step (what the workflow ships out)."""
+
+    step: int
+    positions: np.ndarray
+    velocities: np.ndarray
+    potential_energy: float
+    kinetic_energy: float
+
+    @property
+    def total_energy(self) -> float:
+        return self.potential_energy + self.kinetic_energy
+
+    @property
+    def temperature(self) -> float:
+        """Instantaneous temperature in reduced units (3N/2 kT = KE)."""
+        n = self.positions.shape[0]
+        return 2.0 * self.kinetic_energy / (3.0 * n)
+
+    def output_bytes(self) -> int:
+        """Bytes of the per-step output (positions only, as the MSD analysis needs)."""
+        return int(self.positions.nbytes)
+
+
+class LennardJonesMD:
+    """Velocity-Verlet dynamics of truncated LJ atoms in a cubic periodic box."""
+
+    def __init__(
+        self,
+        cells_per_side: int = 3,
+        density: float = 0.8442,
+        temperature: float = 1.44,
+        dt: float = 0.005,
+        cutoff: float = 2.5,
+        seed: int = 0,
+    ):
+        if temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        self.positions, self.box_length = fcc_lattice(cells_per_side, density)
+        self.n_atoms = self.positions.shape[0]
+        self.dt = dt
+        self.cutoff = min(cutoff, self.box_length / 2.0 - 1e-9)
+        self.step_count = 0
+        self.initial_positions = self.positions.copy()
+
+        rng = np.random.default_rng(seed)
+        vel = rng.standard_normal((self.n_atoms, 3))
+        vel -= vel.mean(axis=0)  # zero total momentum
+        if temperature > 0:
+            current = (vel**2).sum() / (3.0 * self.n_atoms)
+            vel *= np.sqrt(temperature / current)
+        else:
+            vel[:] = 0.0
+        self.velocities = vel
+        self.forces, self._potential = self._compute_forces()
+
+    # -- force evaluation with a cell list ---------------------------------
+    def _cell_list(self) -> Tuple[Dict[Tuple[int, int, int], np.ndarray], int]:
+        ncell = max(1, int(self.box_length / self.cutoff))
+        cell_size = self.box_length / ncell
+        coords = np.floor(self.positions / cell_size).astype(int) % ncell
+        cells: Dict[Tuple[int, int, int], list] = {}
+        for idx, (cx, cy, cz) in enumerate(coords):
+            cells.setdefault((cx, cy, cz), []).append(idx)
+        return {k: np.array(v, dtype=int) for k, v in cells.items()}, ncell
+
+    def _compute_forces(self) -> Tuple[np.ndarray, float]:
+        forces = np.zeros_like(self.positions)
+        potential = 0.0
+        cutoff_sq = self.cutoff * self.cutoff
+        # Energy shift so the potential is continuous at the cutoff.
+        inv_c6 = 1.0 / cutoff_sq**3
+        shift = 4.0 * (inv_c6 * inv_c6 - inv_c6)
+        cells, ncell = self._cell_list()
+
+        if ncell < 3:
+            # Too few cells for a correct 27-stencil: fall back to all pairs.
+            pair_groups = [(np.arange(self.n_atoms), None)]
+        else:
+            pair_groups = None
+
+        def accumulate(idx_i: np.ndarray, idx_j: Optional[np.ndarray]) -> None:
+            nonlocal potential
+            pi = self.positions[idx_i]
+            pj = self.positions[idx_j] if idx_j is not None else pi
+            delta = pi[:, None, :] - pj[None, :, :]
+            delta -= self.box_length * np.round(delta / self.box_length)
+            dist_sq = (delta**2).sum(axis=-1)
+            if idx_j is None:
+                # Same-group pairs: take each unordered pair once.
+                iu = np.triu_indices(len(idx_i), k=1)
+                mask = np.zeros_like(dist_sq, dtype=bool)
+                mask[iu] = True
+            else:
+                mask = np.ones_like(dist_sq, dtype=bool)
+            mask &= (dist_sq < cutoff_sq) & (dist_sq > 1e-12)
+            if not mask.any():
+                return
+            ii, jj = np.nonzero(mask)
+            r2 = dist_sq[ii, jj]
+            inv_r2 = 1.0 / r2
+            inv_r6 = inv_r2**3
+            potential_pairs = 4.0 * (inv_r6 * inv_r6 - inv_r6) - shift
+            potential += float(potential_pairs.sum())
+            # dU/dr along the separation vector.
+            fmag = (48.0 * inv_r6 * inv_r6 - 24.0 * inv_r6) * inv_r2
+            fvec = fmag[:, None] * delta[ii, jj]
+            np.add.at(forces, idx_i[ii], fvec)
+            target_j = idx_i if idx_j is None else idx_j
+            np.add.at(forces, target_j[jj], -fvec)
+
+        if pair_groups is not None:
+            accumulate(pair_groups[0][0], None)
+            return forces, potential
+
+        # Cell-list traversal: each cell against itself and half of its 26
+        # neighbours (so each pair of cells is visited exactly once).
+        half_stencil = [
+            (dx, dy, dz)
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            for dz in (-1, 0, 1)
+            if (dx, dy, dz) > (0, 0, 0)
+        ]
+        for (cx, cy, cz), idx_i in cells.items():
+            accumulate(idx_i, None)
+            for dx, dy, dz in half_stencil:
+                key = ((cx + dx) % ncell, (cy + dy) % ncell, (cz + dz) % ncell)
+                idx_j = cells.get(key)
+                if idx_j is not None:
+                    accumulate(idx_i, idx_j)
+        return forces, potential
+
+    # -- time stepping ---------------------------------------------------------
+    def step(self) -> MDState:
+        """One velocity-Verlet step; returns the new state."""
+        dt = self.dt
+        self.velocities += 0.5 * dt * self.forces
+        self.positions += dt * self.velocities
+        self.positions %= self.box_length
+        self.forces, self._potential = self._compute_forces()
+        self.velocities += 0.5 * dt * self.forces
+        self.step_count += 1
+        kinetic = 0.5 * float((self.velocities**2).sum())
+        return MDState(
+            step=self.step_count,
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            potential_energy=self._potential,
+            kinetic_energy=kinetic,
+        )
+
+    def run(self, steps: int) -> MDState:
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        state = None
+        for _ in range(steps):
+            state = self.step()
+        assert state is not None
+        return state
+
+    # -- diagnostics -------------------------------------------------------------
+    def total_momentum(self) -> np.ndarray:
+        return self.velocities.sum(axis=0)
+
+    def total_energy(self) -> float:
+        kinetic = 0.5 * float((self.velocities**2).sum())
+        return kinetic + self._potential
+
+    def msd_from_start(self) -> float:
+        """Mean-squared displacement relative to the initial lattice."""
+        delta = self.positions - self.initial_positions
+        delta -= self.box_length * np.round(delta / self.box_length)
+        return float(np.mean((delta**2).sum(axis=1)))

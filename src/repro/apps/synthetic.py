@@ -1,0 +1,136 @@
+"""Synthetic producer applications with controlled time complexity.
+
+The paper validates its performance model (Figures 12 and 13) and the
+concurrent data-transfer optimisation (Figures 14 and 15) with three synthetic
+simulations that emulate algorithms of complexity O(n), O(n log n) and
+O(n^{3/2}), each coupled with a standard-variance analysis.  This module
+provides both the *real* kernels (they genuinely burn the prescribed amount of
+floating-point work per block and emit the block) and the calibration used by
+the cost models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "SYNTHETIC_COMPLEXITIES",
+    "complexity_units",
+    "SyntheticProducer",
+    "synthetic_producer",
+]
+
+#: The three complexities evaluated in the paper.
+SYNTHETIC_COMPLEXITIES = ("O(n)", "O(nlogn)", "O(n^1.5)")
+
+#: Aliases accepted on input -> canonical name.
+_ALIASES: Dict[str, str] = {
+    "o(n)": "O(n)",
+    "n": "O(n)",
+    "linear": "O(n)",
+    "o(nlogn)": "O(nlogn)",
+    "nlogn": "O(nlogn)",
+    "o(nlgn)": "O(nlogn)",
+    "o(n^1.5)": "O(n^1.5)",
+    "o(n3/2)": "O(n^1.5)",
+    "n^1.5": "O(n^1.5)",
+    "n3/2": "O(n^1.5)",
+}
+
+
+def canonical_complexity(name: str) -> str:
+    """Normalise a complexity label to one of :data:`SYNTHETIC_COMPLEXITIES`."""
+    key = name.strip().lower().replace(" ", "")
+    if key in _ALIASES:
+        return _ALIASES[key]
+    if name in SYNTHETIC_COMPLEXITIES:
+        return name
+    raise ValueError(
+        f"unknown complexity {name!r}; expected one of {SYNTHETIC_COMPLEXITIES}"
+    )
+
+
+def complexity_units(complexity: str, n: float) -> float:
+    """Abstract work units of an input of size ``n`` under ``complexity``.
+
+    The unit is chosen so that all three complexities agree at ``n = 1``:
+    O(n) -> ``n``; O(n log n) -> ``n log2(n)``; O(n^{3/2}) -> ``n^{1.5}``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    complexity = canonical_complexity(complexity)
+    if n == 0:
+        return 0.0
+    if complexity == "O(n)":
+        return float(n)
+    if complexity == "O(nlogn)":
+        return float(n) * max(1.0, math.log2(n))
+    return float(n) ** 1.5
+
+
+@dataclass
+class SyntheticProducer:
+    """A producer that emulates a simulation of the requested complexity.
+
+    Each call to :meth:`produce_block` generates ``elements`` random values and
+    performs genuine floating-point work proportional to
+    ``complexity_units(complexity, elements)`` (elementwise updates for O(n), a
+    sort for O(n log n), and a blocked matrix product for O(n^{3/2})), then
+    returns the data so it can be handed to a transport.
+    """
+
+    complexity: str
+    elements: int = 131072  # 1 MiB of float64 per block by default
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.complexity = canonical_complexity(self.complexity)
+        if self.elements <= 0:
+            raise ValueError("elements must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def block_bytes(self) -> int:
+        return self.elements * 8
+
+    def produce_block(self, step: int, block_index: int = 0) -> np.ndarray:
+        """Generate one block's data, performing the complexity-matched work."""
+        data = self._rng.standard_normal(self.elements)
+        if self.complexity == "O(n)":
+            # A couple of elementwise passes: the cheapest possible producer.
+            data = 0.5 * (data + np.roll(data, 1))
+            data += float(step)
+        elif self.complexity == "O(nlogn)":
+            # Divide-and-conquer style work: sorting dominates at n log n.
+            order = np.argsort(data, kind="mergesort")
+            data = data[order] + float(step)
+        else:  # O(n^1.5)
+            # A matrix-matrix product on a sqrt(n) x sqrt(n) tile costs n^1.5.
+            m = max(2, int(math.isqrt(self.elements)))
+            tile = data[: m * m].reshape(m, m)
+            product = tile @ tile.T
+            data = data.copy()
+            data[: m * m] = product.reshape(-1) / m + float(step)
+        return data
+
+    def blocks(self, steps: int, blocks_per_step: int = 1) -> Iterator[tuple]:
+        """Yield ``(step, block_index, data)`` for a whole run."""
+        if steps <= 0 or blocks_per_step <= 0:
+            raise ValueError("steps and blocks_per_step must be positive")
+        for step in range(steps):
+            for b in range(blocks_per_step):
+                yield step, b, self.produce_block(step, b)
+
+
+def synthetic_producer(
+    complexity: str,
+    elements: int = 131072,
+    seed: int = 0,
+) -> Callable[[int, int], np.ndarray]:
+    """A convenience factory returning ``produce(step, block_index) -> ndarray``."""
+    producer = SyntheticProducer(complexity, elements, seed)
+    return producer.produce_block

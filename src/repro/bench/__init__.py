@@ -1,0 +1,39 @@
+"""Experiment descriptors and report formatting shared by the benchmark harness.
+
+The modules here define, for every table and figure of the paper, the exact
+workflow configurations to run and the rows/series to print, so the scripts in
+``benchmarks/`` stay thin.  All experiments run on the representative-rank
+simulator; the scale knobs (``steps``, ``representative_sim_ranks``,
+``data_per_rank``) default to values small enough for a laptop while keeping
+the per-rank workload and the full-job parameters faithful to the paper.
+"""
+
+from repro.bench.report import format_table, format_series, breakdown_row
+from repro.bench.experiments import (
+    FIGURE2_TRANSPORTS,
+    figure2_configs,
+    figure12_configs,
+    figure13_configs,
+    figure14_configs,
+    figure16_configs,
+    figure18_configs,
+    trace_config,
+    SCALABILITY_CORE_COUNTS,
+    SYNTHETIC_SCALING_CORES,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "breakdown_row",
+    "FIGURE2_TRANSPORTS",
+    "figure2_configs",
+    "figure12_configs",
+    "figure13_configs",
+    "figure14_configs",
+    "figure16_configs",
+    "figure18_configs",
+    "trace_config",
+    "SCALABILITY_CORE_COUNTS",
+    "SYNTHETIC_SCALING_CORES",
+]

@@ -1,0 +1,224 @@
+"""Workflow configurations for every table and figure of the paper's evaluation.
+
+Each ``figureN_configs`` function returns the list of
+:class:`~repro.workflow.config.WorkflowConfig` objects (plus labels) whose
+results regenerate that figure.  Scale knobs default to laptop-friendly values
+— fewer steps and less data per rank than the paper — while the structural
+parameters (core counts, producer:consumer ratio, block sizes, machine
+presets) stay faithful, so the *shape* of every result is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.apps.costs import MiB, cfd_workload, lammps_workload, synthetic_workload
+from repro.cluster.presets import bridges, stampede2
+from repro.workflow.config import WorkflowConfig
+
+__all__ = [
+    "FIGURE2_TRANSPORTS",
+    "SCALABILITY_CORE_COUNTS",
+    "SYNTHETIC_SCALING_CORES",
+    "figure2_configs",
+    "figure12_configs",
+    "figure13_configs",
+    "figure14_configs",
+    "figure16_configs",
+    "figure18_configs",
+    "trace_config",
+]
+
+#: The seven transport methods of Figure 2 plus the two reference bars.
+FIGURE2_TRANSPORTS: Tuple[str, ...] = (
+    "adios+dataspaces",
+    "adios+dimes",
+    "mpiio",
+    "flexpath",
+    "decaf",
+    "dataspaces",
+    "dimes",
+)
+
+#: Core counts of the weak-scaling experiments (Figures 16 and 18).
+SCALABILITY_CORE_COUNTS: Tuple[int, ...] = (204, 408, 816, 1632, 3264, 6528, 13056)
+
+#: Core counts of the concurrent-transfer experiments (Figures 14 and 15).
+SYNTHETIC_SCALING_CORES: Tuple[int, ...] = (84, 168, 336, 588, 1176, 2352)
+
+
+def figure2_configs(steps: int = 30, representative_sim_ranks: int = 8) -> List[Tuple[str, WorkflowConfig]]:
+    """The Bridges CFD workflow of Table 1 under each of the seven transports.
+
+    Table 1: 256 simulation processes, 128 analysis processes, 100 time steps,
+    16 MiB of output per process per step (400 GB moved in total).
+    """
+    workload = cfd_workload(steps=steps)
+    base = WorkflowConfig(
+        workload=workload,
+        cluster=bridges(),
+        total_cores=384,
+        sim_core_fraction=256 / 384,
+        representative_sim_ranks=representative_sim_ranks,
+        steps=steps,
+        label="figure2",
+    )
+    configs: List[Tuple[str, WorkflowConfig]] = []
+    for transport in FIGURE2_TRANSPORTS + ("zipper", "none"):
+        configs.append((transport, base.replace(transport=transport)))
+    return configs
+
+
+def _perf_model_base(
+    complexity: str,
+    block_bytes: int,
+    data_per_rank: int,
+    preserve: bool,
+    steps_cap: int,
+) -> WorkflowConfig:
+    workload = synthetic_workload(complexity, block_bytes, data_per_rank=data_per_rank)
+    if steps_cap is not None:
+        workload = workload.replace(steps=min(workload.steps, steps_cap))
+    return WorkflowConfig(
+        workload=workload,
+        cluster=bridges(),
+        transport="zipper",
+        total_cores=2352,
+        sim_core_fraction=1568 / 2352,
+        representative_sim_ranks=8,
+        block_bytes=block_bytes,
+        preserve=preserve,
+        label=f"{complexity}/{block_bytes // MiB}MB",
+    )
+
+
+def figure12_configs(
+    data_per_rank: int = 256 * MiB, steps_cap: int = 512
+) -> List[Tuple[str, WorkflowConfig]]:
+    """Performance-model validation, No-Preserve mode (Figure 12).
+
+    The paper uses 1,568 simulation cores + 784 analysis cores, 2 GiB of data
+    per simulation core, and block sizes of 1 MB and 8 MB for each of the
+    three synthetic applications; ``data_per_rank`` scales the per-rank volume
+    down for laptop runs.
+    """
+    configs = []
+    for block in (1 * MiB, 8 * MiB):
+        for complexity in ("O(n)", "O(nlogn)", "O(n^1.5)"):
+            cfg = _perf_model_base(complexity, block, data_per_rank, False, steps_cap)
+            configs.append((cfg.label, cfg))
+    return configs
+
+
+def figure13_configs(
+    data_per_rank: int = 256 * MiB, steps_cap: int = 512
+) -> List[Tuple[str, WorkflowConfig]]:
+    """Performance-model validation, Preserve mode (Figure 13)."""
+    configs = []
+    for block in (1 * MiB, 8 * MiB):
+        for complexity in ("O(n)", "O(nlogn)", "O(n^1.5)"):
+            cfg = _perf_model_base(complexity, block, data_per_rank, True, steps_cap)
+            configs.append((cfg.label, cfg))
+    return configs
+
+
+def figure14_configs(
+    data_per_rank: int = 256 * MiB,
+    core_counts: Iterable[int] = SYNTHETIC_SCALING_CORES,
+) -> List[Tuple[str, WorkflowConfig]]:
+    """Concurrent message+file transfer optimisation (Figures 14 and 15).
+
+    For each synthetic application and core count, two configurations are
+    produced: the message-passing-only baseline and the concurrent (work
+    stealing) optimisation.
+    """
+    configs = []
+    for complexity in ("O(n)", "O(nlogn)", "O(n^1.5)"):
+        workload = synthetic_workload(complexity, 1 * MiB, data_per_rank=data_per_rank)
+        for cores in core_counts:
+            for concurrent in (False, True):
+                label = f"{complexity}/{cores}/{'concurrent' if concurrent else 'mpi-only'}"
+                configs.append(
+                    (
+                        label,
+                        WorkflowConfig(
+                            workload=workload,
+                            cluster=bridges(),
+                            transport="zipper",
+                            total_cores=cores,
+                            sim_core_fraction=2.0 / 3.0,
+                            representative_sim_ranks=8,
+                            block_bytes=1 * MiB,
+                            concurrent_transfer=concurrent,
+                            label=label,
+                        ),
+                    )
+                )
+    return configs
+
+
+def _scalability_configs(workload_factory, steps: int, transports: Tuple[str, ...]):
+    configs = []
+    for cores in SCALABILITY_CORE_COUNTS:
+        for transport in transports:
+            workload = workload_factory(steps=steps)
+            label = f"{workload.name}/{cores}/{transport}"
+            configs.append(
+                (
+                    label,
+                    WorkflowConfig(
+                        workload=workload,
+                        cluster=stampede2(),
+                        transport=transport,
+                        total_cores=cores,
+                        sim_core_fraction=2.0 / 3.0,
+                        representative_sim_ranks=8,
+                        steps=steps,
+                        label=label,
+                    ),
+                )
+            )
+    return configs
+
+
+def figure16_configs(steps: int = 30) -> List[Tuple[str, WorkflowConfig]]:
+    """CFD weak scaling on Stampede2 (Figure 16): MPI-IO, Flexpath, Decaf, Zipper, none."""
+    return _scalability_configs(
+        cfd_workload, steps, ("mpiio", "flexpath", "decaf", "zipper", "none")
+    )
+
+
+def figure18_configs(steps: int = 30) -> List[Tuple[str, WorkflowConfig]]:
+    """LAMMPS weak scaling on Stampede2 (Figure 18)."""
+    return _scalability_configs(
+        lammps_workload, steps, ("mpiio", "flexpath", "decaf", "zipper", "none")
+    )
+
+
+def trace_config(
+    transport: str,
+    workload_name: str = "cfd",
+    total_cores: int = 204,
+    steps: int = 12,
+    machine: str = "stampede2",
+) -> WorkflowConfig:
+    """A small traced run used by the trace figures (4, 5, 6, 17 and 19)."""
+    workload = cfd_workload(steps=steps) if workload_name == "cfd" else lammps_workload(steps=steps)
+    cluster = stampede2() if machine == "stampede2" else bridges()
+    return WorkflowConfig(
+        workload=workload,
+        cluster=cluster,
+        transport=transport,
+        total_cores=total_cores,
+        representative_sim_ranks=4,
+        steps=steps,
+        trace=True,
+        label=f"trace/{workload_name}/{transport}/{total_cores}",
+    )
+
+
+def run_all(configs: List[Tuple[str, WorkflowConfig]]) -> Dict[str, object]:
+    """Convenience helper running every config (used by tests of the bench layer)."""
+    from repro.workflow.runner import run_workflow
+
+    return {label: run_workflow(cfg) for label, cfg in configs}

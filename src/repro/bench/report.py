@@ -1,0 +1,52 @@
+"""Plain-text table/series formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "breakdown_row"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width text table (the benches print these to stdout)."""
+    cols = len(headers)
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError("every row must have as many cells as the header")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in str_rows)) if str_rows else len(str(headers[c]))
+        for c in range(cols)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Dict[object, float], unit: str = "s") -> str:
+    """Render one named series (e.g. end-to-end time vs core count)."""
+    cells = ", ".join(f"{k}: {v:.2f}{unit}" for k, v in points.items())
+    return f"{name}: {cells}"
+
+
+def breakdown_row(label: str, breakdown) -> List[object]:
+    """One Figure-12/13 style row from a :class:`~repro.workflow.result.StageBreakdown`."""
+    return [
+        label,
+        round(breakdown.simulation, 2),
+        round(breakdown.transfer, 2),
+        round(breakdown.store, 2),
+        round(breakdown.analysis, 2),
+        round(breakdown.stall, 2),
+    ]
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,333 @@
+"""Interconnect fabric model with port queueing, congestion and counters.
+
+The model is intentionally lightweight — one simulation event per message —
+but captures the phenomena the paper's analysis rests on:
+
+* **Port serialisation.**  Each node has one NIC; messages leaving (entering)
+  a node queue FIFO behind earlier messages at that port.  Time spent queued
+  with data ready is accumulated into the ``XmitWait`` counter exactly as the
+  Omni-Path counter does.
+* **Fabric taper and scale.**  Traffic between nodes on different leaf
+  switches passes through a per-node share of core-fabric bandwidth.  The
+  share shrinks (mildly) as the *full* job size grows, which is what makes
+  congestion, and therefore the benefit of Zipper's dual-path transfer, grow
+  with scale (paper Figures 14/15).
+* **Congestion penalty.**  The effective rate of a port degrades with the
+  number of flows concurrently using it, modelling credit stalls and
+  head-of-line blocking under incast.  Flows may carry a weight: parallel
+  file-system traffic is spread over many OSTs and therefore loads the fabric
+  with a weight < 1, which is why offloading blocks to the file path relieves
+  congestion on the message path.
+* **Backpressure.**  A transfer holds its source port until the data has been
+  drained by the slowest stage on its path, so a congested receiver slows its
+  senders — the mechanism behind the inflated ``MPI_Sendrecv`` times the paper
+  observes once a staging library shares the fabric with the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.simcore import Environment, RandomStreams, TallyMonitor, Timeout
+from repro.cluster.counters import CounterRegistry
+from repro.cluster.spec import NetworkSpec
+
+__all__ = ["Network", "TransferResult", "PortState"]
+
+#: Default bandwidth of an intra-node (shared-memory) copy, bytes/second.
+DEFAULT_INTRA_NODE_BANDWIDTH = 20e9
+
+
+@dataclass
+class TransferResult:
+    """Outcome of a single message transfer."""
+
+    src: int
+    dst: int
+    nbytes: int
+    start: float
+    finish: float
+    queued: float  #: seconds spent waiting for the source port
+    stalled: float  #: seconds the source was backpressured by downstream stages
+    flow: str = "msg"
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved end-to-end bandwidth in bytes/second."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.nbytes / self.duration
+
+
+class PortState:
+    """Mutable per-port bookkeeping: FIFO availability and weighted load."""
+
+    __slots__ = ("name", "bandwidth", "busy_until", "load", "counters_id")
+
+    def __init__(self, name: str, bandwidth: float, counters_id: Optional[str] = None):
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.busy_until = 0.0
+        self.load = 0.0  # weighted number of flows currently using the port
+        self.counters_id = counters_id
+
+    def effective_rate(
+        self, spec: NetworkSpec, extra_weight: float, congestion_scale: float = 1.0
+    ) -> float:
+        """Rate seen by a new flow given the port's current weighted load.
+
+        ``congestion_scale`` amplifies the penalty for large jobs: the same
+        instantaneous contention produces more credit stalls and adaptive-
+        routing collisions when the job spans more leaf switches, which is the
+        scale-dependent congestion the paper measures through ``XmitWait``.
+        """
+        concurrency = self.load + extra_weight
+        penalty = 1.0 + spec.congestion_alpha * congestion_scale * max(0.0, concurrency - 1.0)
+        penalty = min(penalty, spec.max_congestion_penalty)
+        return self.bandwidth / penalty
+
+
+class Network:
+    """The fabric connecting the modelled compute nodes.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    spec:
+        Static fabric description.
+    num_nodes:
+        Number of *modelled* nodes (each gets an injection and an ejection
+        port).
+    total_nodes:
+        Number of nodes in the full job being represented; drives the
+        scale-dependent core-fabric share.  Defaults to ``num_nodes``.
+    counters:
+        Registry receiving per-port traffic and ``XmitWait`` counts.
+    rng:
+        Random streams (used only when ``jitter_cv`` > 0).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: NetworkSpec,
+        num_nodes: int,
+        total_nodes: Optional[int] = None,
+        counters: Optional[CounterRegistry] = None,
+        rng: Optional[RandomStreams] = None,
+        intra_node_bandwidth: float = DEFAULT_INTRA_NODE_BANDWIDTH,
+        scale_penalty: float = 0.12,
+        jitter_cv: float = 0.0,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.env = env
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self.total_nodes = int(total_nodes) if total_nodes else num_nodes
+        if self.total_nodes < num_nodes:
+            raise ValueError("total_nodes cannot be smaller than num_nodes")
+        self.counters = counters if counters is not None else CounterRegistry()
+        self.rng = rng if rng is not None else RandomStreams(0)
+        self.intra_node_bandwidth = float(intra_node_bandwidth)
+        self.scale_penalty = float(scale_penalty)
+        self.jitter_cv = float(jitter_cv)
+
+        self._inject: Dict[int, PortState] = {}
+        self._eject: Dict[int, PortState] = {}
+        self._core: Dict[int, PortState] = {}
+        core_share = self.core_share_per_node()
+        for node in range(num_nodes):
+            self._inject[node] = PortState(
+                f"node{node}.tx", spec.link_bandwidth, counters_id=f"node{node}"
+            )
+            self._eject[node] = PortState(
+                f"node{node}.rx", spec.link_bandwidth, counters_id=f"node{node}"
+            )
+            self._core[node] = PortState(f"node{node}.core", core_share)
+
+        self.transfer_stats = TallyMonitor("transfer_time")
+        self.bytes_moved = 0
+        self.messages_sent = 0
+
+    # -- derived quantities ------------------------------------------------
+    def congestion_scale(self) -> float:
+        """Scale factor applied to the congestion penalty for large jobs.
+
+        Grows with the number of leaf switches the represented job spans;
+        jobs confined to a single leaf see no amplification.
+        """
+        import math
+
+        leaves = self.total_nodes / self.spec.ports_per_leaf
+        return 1.0 + 0.45 * max(0.0, math.log2(max(1.0, leaves)))
+
+    def fabric_efficiency(self) -> float:
+        """Scale-dependent efficiency of the core fabric (1.0 for tiny jobs).
+
+        Larger jobs span more leaf switches; adaptive-routing collisions and
+        longer paths reduce the usable fraction of the nominal core bandwidth.
+        """
+        import math
+
+        leaves = max(1.0, self.total_nodes / self.spec.ports_per_leaf)
+        return 1.0 / (1.0 + self.scale_penalty * math.log2(leaves + 1.0))
+
+    def core_share_per_node(self) -> float:
+        """Per-node share of core-fabric bandwidth, after taper and scale effects."""
+        nominal = (
+            self.spec.core_link_bandwidth
+            * self.spec.core_links_per_leaf
+            / self.spec.ports_per_leaf
+        )
+        return min(self.spec.link_bandwidth, nominal) * self.fabric_efficiency()
+
+    def node_leaf(self, node: int) -> int:
+        """Leaf switch index hosting ``node``.
+
+        Modelled nodes stand for a job of ``total_nodes`` nodes; they are
+        mapped onto leaf switches as if spread evenly across the full job's
+        allocation, so that a representative-rank simulation exercises the
+        core fabric the way the full job would.
+        """
+        stride = self.total_nodes / self.num_nodes
+        real_node = int(node * stride)
+        return real_node // self.spec.ports_per_leaf
+
+    # -- traffic -------------------------------------------------------------
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        flow: str = "msg",
+        congestion_weight: float = 1.0,
+    ) -> Generator:
+        """Simulate moving ``nbytes`` from node ``src`` to node ``dst``.
+
+        This is a simulation process: ``yield from`` it (or wrap it with
+        ``env.process``).  Returns a :class:`TransferResult`.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self._check_node(src)
+        self._check_node(dst)
+        env = self.env
+        start = env.now
+        self.messages_sent += 1
+        self.bytes_moved += int(nbytes)
+
+        if nbytes == 0:
+            # Pure synchronisation message: latency only.
+            yield Timeout(env, self.spec.latency + self.spec.per_message_overhead)
+            result = TransferResult(src, dst, 0, start, env.now, 0.0, 0.0, flow)
+            self.transfer_stats.observe(result.duration)
+            return result
+
+        if src == dst:
+            duration = self.spec.per_message_overhead + nbytes / self.intra_node_bandwidth
+            duration = self._jittered(duration, "intra")
+            yield Timeout(env, duration)
+            result = TransferResult(src, dst, nbytes, start, env.now, 0.0, 0.0, flow)
+            self.transfer_stats.observe(result.duration)
+            return result
+
+        spec = self.spec
+        tx = self._inject[src]
+        rx = self._eject[dst]
+        same_leaf = self.node_leaf(src) == self.node_leaf(dst)
+        stages = [tx] if same_leaf else [tx, self._core[src]]
+        stages.append(rx)
+
+        # Effective rates are frozen at issue time from the current loads;
+        # the loads are then raised for the duration of the transfer so that
+        # later flows see this one.
+        cscale = self.congestion_scale()
+        rates = [s.effective_rate(spec, congestion_weight, cscale) for s in stages]
+        bottleneck = min(rates)
+
+        now = env.now
+        t_tx_start = max(now, tx.busy_until)
+        queued = t_tx_start - now
+        t_rx_start = max(t_tx_start + spec.latency, rx.busy_until)
+        drain_time = nbytes / bottleneck
+        finish = t_rx_start + spec.per_message_overhead + drain_time
+        # Backpressure: the source cannot consider the message "sent" before
+        # the slowest stage has drained it.
+        ideal_tx_done = t_tx_start + nbytes / rates[0]
+        stalled = max(0.0, finish - ideal_tx_done - spec.latency)
+
+        for stage in stages:
+            stage.busy_until = finish
+            stage.load += congestion_weight
+
+        # Counters for the source and destination NIC ports.
+        tx_port = self.counters.port(tx.counters_id or tx.name)
+        rx_port = self.counters.port(rx.counters_id or rx.name)
+        tx_port.record_send(nbytes)
+        rx_port.record_receive(nbytes)
+        tx_port.record_wait(queued + stalled, spec.link_bandwidth, spec.flit_bytes)
+
+        duration = self._jittered(finish - now, "fabric")
+        yield Timeout(env, duration)
+
+        for stage in stages:
+            stage.load = max(0.0, stage.load - congestion_weight)
+
+        result = TransferResult(
+            src, dst, nbytes, start, env.now, queued, stalled, flow
+        )
+        self.transfer_stats.observe(result.duration)
+        return result
+
+    def scale_node_bandwidth(self, node: int, factor: float) -> None:
+        """Scale one node's port bandwidths (used for under-filled modelled nodes).
+
+        A modelled node normally stands for ``ranks_per_modelled_node`` ranks
+        of a real node; when it actually hosts fewer ranks (e.g. a single
+        staging rank), its share of the real node's NIC must shrink
+        accordingly, otherwise the modelled staging/link nodes would enjoy
+        several times the per-rank bandwidth they have on the real machine.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self._check_node(node)
+        for ports in (self._inject, self._eject, self._core):
+            ports[node].bandwidth *= factor
+
+    def add_background_load(self, node: int, weight: float) -> None:
+        """Register standing load on a node's ports (e.g. file traffic share)."""
+        self._check_node(node)
+        self._inject[node].load += weight
+        self._eject[node].load += weight
+
+    def remove_background_load(self, node: int, weight: float) -> None:
+        self._check_node(node)
+        self._inject[node].load = max(0.0, self._inject[node].load - weight)
+        self._eject[node].load = max(0.0, self._eject[node].load - weight)
+
+    # -- introspection ---------------------------------------------------
+    def port_load(self, node: int) -> float:
+        """Current weighted load on a node's injection port."""
+        self._check_node(node)
+        return self._inject[node].load
+
+    def xmit_wait_total(self) -> int:
+        """Sum of ``XmitWait`` over every modelled port."""
+        return self.counters.total("XmitWait")
+
+    # -- helpers ----------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def _jittered(self, duration: float, stream: str) -> float:
+        if self.jitter_cv <= 0:
+            return duration
+        return self.rng.jitter(f"network.{stream}", duration, self.jitter_cv)

@@ -1,0 +1,79 @@
+"""Compute-node model: cores and memory of one node."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.simcore import Container, Environment, RandomStreams, Resource, Timeout
+from repro.cluster.spec import NodeSpec
+
+__all__ = ["ComputeNode"]
+
+
+class ComputeNode:
+    """One compute node: a pool of cores and a memory capacity.
+
+    Application cost models express work in *seconds on one reference core*;
+    :meth:`compute` converts that into simulated time on this node's cores
+    (accounting for the node's relative core speed and optional jitter) while
+    holding a core slot, so that oversubscription of a node is visible as
+    queueing.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        spec: NodeSpec,
+        rng: Optional[RandomStreams] = None,
+        jitter_cv: float = 0.0,
+    ):
+        self.env = env
+        self.node_id = node_id
+        self.spec = spec
+        self.rng = rng if rng is not None else RandomStreams(node_id)
+        self.jitter_cv = float(jitter_cv)
+        self.cores = Resource(env, capacity=spec.cores)
+        self.memory = Container(env, capacity=float(spec.memory_bytes), init=0.0)
+        self.busy_core_seconds = 0.0
+
+    def compute(self, reference_seconds: float) -> Generator:
+        """Occupy one core for ``reference_seconds`` of reference-core work."""
+        if reference_seconds < 0:
+            raise ValueError("reference_seconds must be non-negative")
+        duration = reference_seconds / self.spec.core_speed
+        if self.jitter_cv > 0:
+            duration = self.rng.jitter(
+                f"node{self.node_id}.compute", duration, self.jitter_cv
+            )
+        req = self.cores.request()
+        yield req
+        try:
+            if duration > 0:
+                yield Timeout(self.env, duration)
+            self.busy_core_seconds += duration
+        finally:
+            self.cores.release(req)
+        return duration
+
+    def allocate_memory(self, nbytes: float):
+        """Reserve ``nbytes`` of node memory (blocks while unavailable)."""
+        return self.memory.put(nbytes)
+
+    def free_memory(self, nbytes: float):
+        """Release ``nbytes`` of node memory."""
+        return self.memory.get(nbytes)
+
+    @property
+    def memory_in_use(self) -> float:
+        return self.memory.level
+
+    @property
+    def memory_free(self) -> float:
+        return self.memory.capacity - self.memory.level
+
+    def __repr__(self) -> str:
+        return (
+            f"<ComputeNode {self.node_id} cores={self.spec.cores} "
+            f"in_use={self.cores.count}>"
+        )

@@ -1,0 +1,110 @@
+"""Machine presets for the systems used in the paper plus a laptop-scale preset."""
+
+from __future__ import annotations
+
+from repro.cluster.spec import (
+    ClusterSpec,
+    FileSystemSpec,
+    GiB,
+    NetworkSpec,
+    NodeSpec,
+)
+
+__all__ = ["bridges", "stampede2", "laptop"]
+
+
+def bridges() -> ClusterSpec:
+    """Bridges (Pittsburgh Supercomputing Center), as described in Sections 3 and 6.
+
+    752 regular nodes, 2x Intel Haswell 14-core 3.3 GHz (28 cores), 128 GB of
+    memory per node, 100 Gb/s Omni-Path (leaf switches with 42 ports at
+    12.5 GB/s), 10 PB Lustre file system.  Jobs are limited to 4,704 cores
+    (168 nodes).  The file-system numbers describe the bandwidth a *job*
+    obtains on the shared production system (calibrated from the paper's
+    Preserve-mode experiment, ≈ 23 GB/s aggregate), not the hardware peak.
+    """
+    return ClusterSpec(
+        name="bridges",
+        node=NodeSpec(cores=28, memory_bytes=128 * GiB, core_speed=1.0),
+        network=NetworkSpec(
+            link_bandwidth=12.5e9,
+            latency=2.0e-6,
+            ports_per_leaf=42,
+            core_links_per_leaf=16,
+            core_link_bandwidth=12.5e9,
+            per_message_overhead=5.0e-6,
+            congestion_alpha=0.08,
+            max_congestion_penalty=4.0,
+        ),
+        filesystem=FileSystemSpec(
+            num_osts=64,
+            ost_bandwidth=0.5e9,
+            client_node_bandwidth=2.0e9,
+            metadata_latency=1.0e-3,
+            background_load=0.28,
+            service_cv=0.25,
+            shares_fabric=True,
+        ),
+        max_nodes=168,
+        seed=20180611,
+    )
+
+
+def stampede2() -> ClusterSpec:
+    """Stampede2 (TACC): 4,200 KNL nodes, 68 cores each, Omni-Path, 30 PB Lustre.
+
+    Individual KNL cores are considerably slower than Haswell cores (the paper
+    reports longer per-step times for the same per-process workload), which is
+    captured by ``core_speed`` < 1.
+    """
+    return ClusterSpec(
+        name="stampede2",
+        node=NodeSpec(cores=68, memory_bytes=96 * GiB, core_speed=0.8),
+        network=NetworkSpec(
+            link_bandwidth=12.5e9,
+            latency=2.5e-6,
+            ports_per_leaf=48,
+            core_links_per_leaf=28,
+            core_link_bandwidth=12.5e9,
+            per_message_overhead=6.0e-6,
+            congestion_alpha=0.10,
+            max_congestion_penalty=8.0,
+        ),
+        filesystem=FileSystemSpec(
+            num_osts=128,
+            ost_bandwidth=0.5e9,
+            client_node_bandwidth=2.0e9,
+            metadata_latency=1.2e-3,
+            background_load=0.3,
+            service_cv=0.3,
+            shares_fabric=True,
+        ),
+        max_nodes=4200,
+        seed=20170801,
+    )
+
+
+def laptop() -> ClusterSpec:
+    """A small, fast-to-simulate machine used by tests and the quickstart example."""
+    return ClusterSpec(
+        name="laptop",
+        node=NodeSpec(cores=4, memory_bytes=16 * GiB, core_speed=1.0),
+        network=NetworkSpec(
+            link_bandwidth=5.0e9,
+            latency=5.0e-6,
+            ports_per_leaf=8,
+            core_links_per_leaf=4,
+            core_link_bandwidth=5.0e9,
+            per_message_overhead=10.0e-6,
+        ),
+        filesystem=FileSystemSpec(
+            num_osts=4,
+            ost_bandwidth=1.0e9,
+            client_node_bandwidth=2.0e9,
+            metadata_latency=0.5e-3,
+            background_load=0.0,
+            service_cv=0.0,
+        ),
+        max_nodes=64,
+        seed=7,
+    )

@@ -1,0 +1,95 @@
+"""Fine-grain data blocks: the unit of pipelining in Zipper.
+
+The paper (Section 4.2): "The data block itself contains all the necessary
+information that the analysis application will need, which includes the time
+step index, the process ID that sends the block, and the position of the data
+block in the global input domain."  :class:`BlockId` carries exactly that
+self-describing metadata; :class:`DataBlock` pairs it with the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BlockId", "DataBlock"]
+
+
+@dataclass(frozen=True, order=True)
+class BlockId:
+    """Globally unique, self-describing identifier of one data block."""
+
+    #: Simulation time step the block belongs to.
+    step: int
+    #: Rank of the producing simulation process.
+    source_rank: int
+    #: Index of the block within the (step, source_rank) output.
+    block_index: int
+    #: Offset of this block within the global domain (element index or byte
+    #: offset, application-defined).  Not part of identity ordering semantics
+    #: beyond the triple above, but carried so the consumer can place the data.
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError("step must be non-negative")
+        if self.source_rank < 0:
+            raise ValueError("source_rank must be non-negative")
+        if self.block_index < 0:
+            raise ValueError("block_index must be non-negative")
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        """The identity triple (step, source_rank, block_index)."""
+        return (self.step, self.source_rank, self.block_index)
+
+    def filename(self, prefix: str = "block") -> str:
+        """A stable file name used by the file-system data path."""
+        return f"{prefix}_s{self.step:06d}_r{self.source_rank:05d}_b{self.block_index:05d}.npy"
+
+    def __str__(self) -> str:
+        return f"(step={self.step}, rank={self.source_rank}, block={self.block_index})"
+
+
+@dataclass
+class DataBlock:
+    """A fine-grain block of simulation output flowing through the pipeline."""
+
+    block_id: BlockId
+    data: np.ndarray
+    #: Whether this block currently resides on the parallel file system
+    #: (set by the work-stealing writer on the producer side, and consulted by
+    #: the Preserve-mode output thread on the consumer side).
+    on_disk: bool = False
+    #: Producer-side creation timestamp (``time.perf_counter`` for the
+    #: threaded runtime, simulation time for the simulated one).
+    created_at: float = 0.0
+    #: Free-form annotations (e.g. physical field name).
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.data, np.ndarray):
+            self.data = np.asarray(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes."""
+        return int(self.data.nbytes)
+
+    def with_data(self, data: np.ndarray, on_disk: Optional[bool] = None) -> "DataBlock":
+        """A copy of this block carrying different payload (used by the reader thread)."""
+        return DataBlock(
+            block_id=self.block_id,
+            data=data,
+            on_disk=self.on_disk if on_disk is None else on_disk,
+            created_at=self.created_at,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<DataBlock {self.block_id} {self.nbytes} bytes"
+            f"{' on-disk' if self.on_disk else ''}>"
+        )

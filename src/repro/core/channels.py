@@ -1,0 +1,158 @@
+"""The two data paths of the threaded Zipper runtime.
+
+* :class:`NetworkChannel` — the low-latency message path.  In-process it is a
+  bounded queue; an optional bandwidth throttle lets tests and benchmarks
+  emulate a slower interconnect so that the producer buffer actually fills and
+  the work-stealing writer activates.
+* :class:`FileChannel` — the parallel-file-system path.  Blocks are written as
+  real ``.npy`` files into a spill directory and read back by the consumer's
+  reader thread; the same directory doubles as the Preserve-mode output
+  location.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.blocks import BlockId, DataBlock
+
+__all__ = ["MixedMessage", "NetworkChannel", "FileChannel"]
+
+
+@dataclass
+class MixedMessage:
+    """What the sender thread actually transmits (Figure 8's "mixed message").
+
+    A mixed message carries at most one data block plus the IDs of any blocks
+    the writer thread has shipped via the file system since the previous
+    message, so the consumer learns about file-path blocks without any extra
+    communication.  ``eof`` marks the end of one producer's stream.
+    """
+
+    block: Optional[DataBlock] = None
+    disk_ids: List[BlockId] = field(default_factory=list)
+    eof: bool = False
+    producer_rank: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes charged to the message path (metadata is negligible)."""
+        return self.block.nbytes if self.block is not None else 0
+
+
+class NetworkChannel:
+    """Bounded, optionally throttled, in-memory message channel."""
+
+    def __init__(
+        self,
+        capacity: int = 0,
+        bandwidth: Optional[float] = None,
+        latency: float = 0.0,
+    ):
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive when given")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._queue: "queue.Queue[MixedMessage]" = queue.Queue(maxsize=capacity)
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._lock = threading.Lock()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, message: MixedMessage) -> float:
+        """Transmit ``message``; returns the (emulated) transmission time.
+
+        The sender thread is occupied for the duration, exactly as a real
+        sender thread is occupied while the NIC drains its buffer.
+        """
+        duration = self.latency
+        if self.bandwidth is not None and message.nbytes > 0:
+            duration += message.nbytes / self.bandwidth
+        if duration > 0:
+            time.sleep(duration)
+        self._queue.put(message)
+        with self._lock:
+            self.messages_sent += 1
+            self.bytes_sent += message.nbytes
+        return duration
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[MixedMessage]:
+        """Next message, or ``None`` if the timeout expires."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def pending(self) -> int:
+        """Messages currently queued (approximate, for monitoring)."""
+        return self._queue.qsize()
+
+
+class FileChannel:
+    """Block storage in a directory of ``.npy`` files (the file-system data path)."""
+
+    def __init__(
+        self,
+        directory: Path,
+        bandwidth: Optional[float] = None,
+        prefix: str = "block",
+    ):
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive when given")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.bandwidth = bandwidth
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self.blocks_written = 0
+        self.blocks_read = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def path_for(self, block_id: BlockId) -> Path:
+        return self.directory / block_id.filename(self.prefix)
+
+    def write(self, block: DataBlock) -> Path:
+        """Persist ``block`` and return the file path."""
+        path = self.path_for(block.block_id)
+        if self.bandwidth is not None and block.nbytes > 0:
+            time.sleep(block.nbytes / self.bandwidth)
+        np.save(path, block.data, allow_pickle=False)
+        with self._lock:
+            self.blocks_written += 1
+            self.bytes_written += block.nbytes
+        return path
+
+    def read(self, block_id: BlockId) -> DataBlock:
+        """Load the block stored under ``block_id`` (raises if missing)."""
+        path = self.path_for(block_id)
+        data = np.load(path, allow_pickle=False)
+        if self.bandwidth is not None and data.nbytes > 0:
+            time.sleep(data.nbytes / self.bandwidth)
+        with self._lock:
+            self.blocks_read += 1
+            self.bytes_read += int(data.nbytes)
+        return DataBlock(block_id=block_id, data=data, on_disk=True)
+
+    def exists(self, block_id: BlockId) -> bool:
+        return self.path_for(block_id).exists()
+
+    def delete(self, block_id: BlockId) -> bool:
+        """Remove a stored block; returns whether it existed."""
+        path = self.path_for(block_id)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def stored_ids(self) -> List[str]:
+        """File names currently present (sorted, for inspection and tests)."""
+        return sorted(p.name for p in self.directory.glob(f"{self.prefix}_*.npy"))

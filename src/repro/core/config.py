@@ -1,0 +1,90 @@
+"""Configuration of the Zipper runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["ZipperConfig", "PRESERVE", "NO_PRESERVE", "MiB"]
+
+MiB = 1024 * 1024
+
+#: Mode constants (Section 4.1: "Zipper offers two modes to users").
+PRESERVE = "preserve"
+NO_PRESERVE = "no-preserve"
+
+
+@dataclass(frozen=True)
+class ZipperConfig:
+    """Tunable parameters of a Zipper session.
+
+    The defaults follow the paper's experimental setup: fine-grain blocks
+    between 1 MB and 8 MB, a bounded producer buffer whose high-water mark
+    triggers the work-stealing writer thread, and the No-Preserve mode.
+    """
+
+    #: Target size of one fine-grain data block in bytes.
+    block_size: int = 1 * MiB
+    #: Capacity of the producer buffer, in blocks ("num_slots" in the paper's
+    #: DIMES discussion; here it bounds memory, not correctness).
+    producer_buffer_blocks: int = 16
+    #: Work-stealing threshold: the writer thread steals only while the number
+    #: of buffered blocks exceeds this value (Algorithm 1's ``Threshold``).
+    high_water_mark: int = 12
+    #: Capacity of the consumer buffer, in blocks.
+    consumer_buffer_blocks: int = 64
+    #: Preserve or No-Preserve mode.
+    mode: str = NO_PRESERVE
+    #: Directory used by the file data path (spilled blocks and, in Preserve
+    #: mode, the persistent copy).  ``None`` means a temporary directory is
+    #: created per session.
+    spill_dir: Optional[Path] = None
+    #: Enable the concurrent dual-channel (message + file) transfer
+    #: optimisation.  Disabling it gives the message-passing-only baseline the
+    #: paper compares against in Figure 14.
+    concurrent_transfer: bool = True
+    #: Optional throttle of the in-memory message channel, bytes/second.
+    #: ``None`` means memory speed.  Tests and the ablation benchmarks use a
+    #: throttle to emulate a slow network so that work stealing activates.
+    network_bandwidth: Optional[float] = None
+    #: Optional throttle of the file channel, bytes/second (``None`` = disk speed).
+    file_bandwidth: Optional[float] = None
+    #: Per-message latency of the message channel, seconds.
+    network_latency: float = 0.0
+    #: Number of producer ranks feeding one consumer runtime (used for
+    #: end-of-stream accounting when several producers share a consumer).
+    num_producers: int = 1
+    #: Extra metadata recorded into results.
+    label: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.producer_buffer_blocks <= 0:
+            raise ValueError("producer_buffer_blocks must be positive")
+        if not 0 <= self.high_water_mark <= self.producer_buffer_blocks:
+            raise ValueError(
+                "high_water_mark must lie within [0, producer_buffer_blocks]"
+            )
+        if self.consumer_buffer_blocks <= 0:
+            raise ValueError("consumer_buffer_blocks must be positive")
+        if self.mode not in (PRESERVE, NO_PRESERVE):
+            raise ValueError(f"mode must be {PRESERVE!r} or {NO_PRESERVE!r}")
+        if self.network_bandwidth is not None and self.network_bandwidth <= 0:
+            raise ValueError("network_bandwidth must be positive when given")
+        if self.file_bandwidth is not None and self.file_bandwidth <= 0:
+            raise ValueError("file_bandwidth must be positive when given")
+        if self.network_latency < 0:
+            raise ValueError("network_latency must be non-negative")
+        if self.num_producers <= 0:
+            raise ValueError("num_producers must be positive")
+
+    @property
+    def preserve(self) -> bool:
+        return self.mode == PRESERVE
+
+    def replace(self, **changes) -> "ZipperConfig":
+        """Return a copy with the given fields changed."""
+        return replace(self, **changes)

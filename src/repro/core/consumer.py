@@ -1,0 +1,206 @@
+"""The consumer runtime module (paper Figure 9).
+
+One consumer runtime serves one analysis process.  It owns:
+
+* the **receiver thread** — takes mixed messages off the message path, puts
+  the contained data block into the consumer buffer and forwards the IDs of
+  file-path blocks to the reader thread;
+* the **reader thread** — loads file-path blocks from the file system and puts
+  them into the consumer buffer;
+* the **output thread** (Preserve mode only) — persists every block that did
+  not already travel through the file system, so the complete simulation
+  output survives the run;
+* the **consumer buffer** — from which the analysis application pulls blocks
+  with ``read()``, purely driven by data availability.
+
+A block is freed only after it has been analysed and, in Preserve mode, also
+stored — the accounting lives in :class:`repro.core.buffers.ConsumerBuffer`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.core.blocks import BlockId, DataBlock
+from repro.core.buffers import ConsumerBuffer
+from repro.core.channels import FileChannel, NetworkChannel
+from repro.core.config import ZipperConfig
+from repro.core.stats import RuntimeStats
+
+__all__ = ["ConsumerRuntime"]
+
+_POLL_INTERVAL = 0.01
+_SENTINEL = object()
+
+
+class ConsumerRuntime:
+    """Multi-threaded consumer-side runtime for one analysis rank."""
+
+    def __init__(
+        self,
+        config: ZipperConfig,
+        network: NetworkChannel,
+        file_channel: FileChannel,
+        stats: Optional[RuntimeStats] = None,
+        preserve_channel: Optional[FileChannel] = None,
+    ):
+        self.config = config
+        self.network = network
+        self.file_channel = file_channel
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.buffer = ConsumerBuffer(config.consumer_buffer_blocks, preserve=config.preserve)
+        self.preserve_channel = preserve_channel
+        if config.preserve and preserve_channel is None:
+            self.preserve_channel = FileChannel(
+                file_channel.directory / "preserved", prefix="preserved"
+            )
+
+        self._read_queue: "queue.Queue" = queue.Queue()
+        self._output_queue: "queue.Queue" = queue.Queue()
+        self._stored_keys: Set[Tuple[int, int, int]] = set()
+        self._stored_lock = threading.Lock()
+        self._eof_count = 0
+        self._started = False
+        self._stopped = False
+
+        self._receiver_thread = threading.Thread(
+            target=self._receiver_loop, name="zipper-receiver", daemon=True
+        )
+        self._reader_thread = threading.Thread(
+            target=self._reader_loop, name="zipper-reader", daemon=True
+        )
+        self._output_thread: Optional[threading.Thread] = None
+        if config.preserve:
+            self._output_thread = threading.Thread(
+                target=self._output_loop, name="zipper-output", daemon=True
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ConsumerRuntime":
+        if not self._started:
+            self._started = True
+            self._receiver_thread.start()
+            self._reader_thread.start()
+            if self._output_thread is not None:
+                self._output_thread.start()
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def finished(self) -> bool:
+        """True once every producer signalled end-of-stream and all blocks are delivered."""
+        return self.buffer.closed and len(self.buffer) == 0
+
+    def join(self, timeout: float = 60.0) -> None:
+        """Wait for the helper threads to finish after the stream has ended."""
+        self._receiver_thread.join(timeout)
+        self._reader_thread.join(timeout)
+        if self._output_thread is not None:
+            self._output_thread.join(timeout)
+        if (
+            self._receiver_thread.is_alive()
+            or self._reader_thread.is_alive()
+            or (self._output_thread is not None and self._output_thread.is_alive())
+        ):
+            raise RuntimeError("Zipper consumer helper threads failed to stop in time")
+
+    def __enter__(self) -> "ConsumerRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.join()
+
+    # -- application interface (Zipper.read) -----------------------------------
+    def read(self, timeout: Optional[float] = None) -> Optional[DataBlock]:
+        """Next available block (any order), or ``None`` at end of stream.
+
+        The time spent waiting is accumulated into ``consumer_wait_time``.
+        """
+        if not self._started:
+            self.start()
+        start = time.perf_counter()
+        block = self.buffer.get(timeout=timeout)
+        self.stats.add("consumer_wait_time", time.perf_counter() - start)
+        if block is not None:
+            self.stats.add("blocks_analyzed", 1)
+        return block
+
+    def release(self, block_id: BlockId) -> bool:
+        """Mark a block as analysed; returns ``True`` once it is fully freed."""
+        freed = self.buffer.mark_analyzed(block_id)
+        if not freed and self.config.preserve:
+            with self._stored_lock:
+                stored = block_id.key in self._stored_keys
+            if stored:
+                freed = self.buffer.mark_stored(block_id)
+        return freed
+
+    def blocks(self, timeout: Optional[float] = None) -> Iterator[DataBlock]:
+        """Iterate over every incoming block, releasing each after the caller is done."""
+        while True:
+            block = self.read(timeout=timeout)
+            if block is None:
+                return
+            try:
+                yield block
+            finally:
+                self.release(block.block_id)
+
+    # -- helper threads ------------------------------------------------------
+    def _receiver_loop(self) -> None:
+        expected_eofs = self.config.num_producers
+        while True:
+            message = self.network.recv(timeout=_POLL_INTERVAL)
+            if message is None:
+                continue
+            for block_id in message.disk_ids:
+                self._read_queue.put(block_id)
+            if message.block is not None:
+                self._admit(message.block)
+                self.stats.add("blocks_received_network", 1)
+            if message.eof:
+                self._eof_count += 1
+                if self._eof_count >= expected_eofs:
+                    break
+        # All producers finished: after the reader drains the pending
+        # file-path IDs, the stream is complete.
+        self._read_queue.put(_SENTINEL)
+
+    def _reader_loop(self) -> None:
+        while True:
+            item = self._read_queue.get()
+            if item is _SENTINEL:
+                break
+            start = time.perf_counter()
+            block = self.file_channel.read(item)
+            self.stats.add("reader_busy_time", time.perf_counter() - start)
+            self.stats.add("blocks_received_file", 1)
+            self._admit(block)
+        self.buffer.close()
+        self._output_queue.put(_SENTINEL)
+        self._stopped = True
+
+    def _admit(self, block: DataBlock) -> None:
+        self.buffer.put(block)
+        if self.config.preserve and not block.on_disk:
+            self._output_queue.put(block)
+
+    def _output_loop(self) -> None:
+        assert self.preserve_channel is not None
+        while True:
+            item = self._output_queue.get()
+            if item is _SENTINEL:
+                break
+            start = time.perf_counter()
+            self.preserve_channel.write(item)
+            self.stats.add("output_busy_time", time.perf_counter() - start)
+            self.stats.add("blocks_preserved", 1)
+            with self._stored_lock:
+                self._stored_keys.add(item.block_id.key)
+            self.buffer.mark_stored(item.block_id)

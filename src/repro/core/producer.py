@@ -1,0 +1,204 @@
+"""The producer runtime module (paper Figure 8).
+
+One producer runtime serves one simulation process.  It owns:
+
+* the **producer buffer** — a bounded FIFO the application's ``write`` fills;
+* the **sender thread** — drains the buffer and ships blocks over the message
+  path, attaching the IDs of any file-path blocks to form *mixed messages*;
+* the **writer thread** — the concurrent dual-channel optimisation
+  (Algorithm 1): while the buffer occupancy exceeds the high-water mark it
+  steals blocks and stores them on the file-system path so the application is
+  never blocked by a slow consumer or a congested message path.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.blocks import BlockId, DataBlock
+from repro.core.buffers import ProducerBuffer
+from repro.core.channels import FileChannel, MixedMessage, NetworkChannel
+from repro.core.config import ZipperConfig
+from repro.core.stats import RuntimeStats
+
+__all__ = ["ProducerRuntime"]
+
+#: How long helper threads sleep in their poll loops when nothing is available.
+_POLL_INTERVAL = 0.01
+
+
+class ProducerRuntime:
+    """Multi-threaded producer-side runtime for one simulation rank."""
+
+    def __init__(
+        self,
+        config: ZipperConfig,
+        network: NetworkChannel,
+        file_channel: FileChannel,
+        stats: Optional[RuntimeStats] = None,
+        rank: int = 0,
+    ):
+        self.config = config
+        self.network = network
+        self.file_channel = file_channel
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.rank = rank
+        self.buffer = ProducerBuffer(
+            config.producer_buffer_blocks, config.high_water_mark, self.stats
+        )
+        self._disk_ids: "queue.SimpleQueue[BlockId]" = queue.SimpleQueue()
+        self._writer_done = threading.Event()
+        self._started = False
+        self._closed = False
+        self._sender_thread = threading.Thread(
+            target=self._sender_loop, name=f"zipper-sender-{rank}", daemon=True
+        )
+        self._writer_thread: Optional[threading.Thread] = None
+        if config.concurrent_transfer:
+            self._writer_thread = threading.Thread(
+                target=self._writer_loop, name=f"zipper-writer-{rank}", daemon=True
+            )
+        else:
+            self._writer_done.set()
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ProducerRuntime":
+        """Start the helper threads (idempotent)."""
+        if not self._started:
+            self._started = True
+            self._sender_thread.start()
+            if self._writer_thread is not None:
+                self._writer_thread.start()
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Flush everything, send the end-of-stream message and stop the threads."""
+        if not self._started:
+            self.start()
+        if self._closed:
+            return
+        self._closed = True
+        self.buffer.close()
+        if self._writer_thread is not None:
+            self._writer_thread.join(timeout)
+        self._writer_done.set()
+        self._sender_thread.join(timeout)
+        if self._sender_thread.is_alive() or (
+            self._writer_thread is not None and self._writer_thread.is_alive()
+        ):
+            raise RuntimeError("Zipper producer helper threads failed to stop in time")
+
+    def __enter__(self) -> "ProducerRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- application interface (Zipper.write) ---------------------------------
+    def write(self, block_id: BlockId, data: np.ndarray, **meta) -> float:
+        """Hand one fine-grain block to the runtime.
+
+        Returns the number of seconds the call was stalled waiting for buffer
+        space (the quantity reported as *application stall time* in the
+        paper's Figure 14).
+        """
+        if not self._started:
+            self.start()
+        if self._closed:
+            raise RuntimeError("cannot write after the producer runtime was closed")
+        block = DataBlock(
+            block_id=block_id,
+            data=np.asarray(data),
+            created_at=time.perf_counter(),
+            meta=dict(meta),
+        )
+        return self.buffer.put(block)
+
+    def write_array(self, step: int, array: np.ndarray, rank: Optional[int] = None) -> int:
+        """Split ``array`` into ``config.block_size`` blocks and write them all.
+
+        Convenience used by the example applications; returns the number of
+        blocks written.
+        """
+        rank = self.rank if rank is None else rank
+        flat = np.ascontiguousarray(array).reshape(-1)
+        itemsize = flat.dtype.itemsize
+        elems_per_block = max(1, self.config.block_size // itemsize)
+        nblocks = 0
+        for index, start in enumerate(range(0, flat.size, elems_per_block)):
+            chunk = flat[start : start + elems_per_block]
+            self.write(
+                BlockId(step=step, source_rank=rank, block_index=index, offset=start),
+                chunk,
+            )
+            nblocks += 1
+        return nblocks
+
+    # -- helper threads ------------------------------------------------------
+    def _drain_disk_ids(self) -> List[BlockId]:
+        ids: List[BlockId] = []
+        while True:
+            try:
+                ids.append(self._disk_ids.get_nowait())
+            except queue.Empty:
+                return ids
+
+    def _sender_loop(self) -> None:
+        while True:
+            block = self.buffer.take(timeout=_POLL_INTERVAL)
+            if block is None:
+                drained = (
+                    self.buffer.closed
+                    and len(self.buffer) == 0
+                    and self._writer_done.is_set()
+                )
+                if drained:
+                    break
+                continue
+            disk_ids = self._drain_disk_ids()
+            message = MixedMessage(
+                block=block, disk_ids=disk_ids, producer_rank=self.rank
+            )
+            start = time.perf_counter()
+            self.network.send(message)
+            elapsed = time.perf_counter() - start
+            self.stats.add("sender_busy_time", elapsed)
+            self.stats.add("blocks_sent_network", 1)
+            self.stats.add("bytes_network", block.nbytes)
+            if disk_ids:
+                self.stats.add("disk_ids_piggybacked", len(disk_ids))
+        # Final flush: any block IDs the writer queued after the last data
+        # message still have to reach the consumer, followed by end-of-stream.
+        final_ids = self._drain_disk_ids()
+        self.network.send(
+            MixedMessage(block=None, disk_ids=final_ids, eof=True, producer_rank=self.rank)
+        )
+
+    def _writer_loop(self) -> None:
+        while True:
+            block = self.buffer.steal(timeout=_POLL_INTERVAL)
+            if block is None:
+                if self.buffer.closed:
+                    break
+                continue
+            start = time.perf_counter()
+            self.file_channel.write(block)
+            elapsed = time.perf_counter() - start
+            self._disk_ids.put(block.block_id)
+            self.stats.add("writer_busy_time", elapsed)
+            self.stats.add("blocks_stolen", 1)
+            self.stats.add("bytes_file", block.nbytes)
+        self._writer_done.set()

@@ -1,0 +1,71 @@
+"""Thread-safe runtime statistics shared by the Zipper runtime modules."""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["RuntimeStats"]
+
+
+class RuntimeStats:
+    """Counters and accumulated timers, safe to update from any thread.
+
+    The names used by the runtime (all in seconds or counts):
+
+    ``producer_stall_time``      time the application spent blocked in ``write``
+    ``sender_busy_time``         time the sender thread spent transmitting
+    ``writer_busy_time``         time the writer thread spent storing blocks
+    ``consumer_wait_time``       time the analysis spent waiting in ``read``
+    ``blocks_produced``          blocks handed to the producer runtime
+    ``blocks_sent_network``      blocks shipped on the message path
+    ``blocks_stolen``            blocks shipped on the file path by work stealing
+    ``blocks_analyzed``          blocks delivered to the analysis
+    ``blocks_preserved``         blocks persisted by the output thread
+    ``bytes_network`` / ``bytes_file``   data volume per path
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` into counter ``name``."""
+        with self._lock:
+            self._values[name] = self._values.get(name, 0.0) + amount
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter ``name``."""
+        with self._lock:
+            self._values[name] = float(value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._values.get(name, default)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A consistent copy of every counter."""
+        with self._lock:
+            return dict(self._values)
+
+    def merge(self, other: "RuntimeStats") -> "RuntimeStats":
+        """Return new stats summing this and ``other``."""
+        merged = RuntimeStats()
+        for src in (self, other):
+            for key, value in src.snapshot().items():
+                merged.add(key, value)
+        return merged
+
+    # -- derived convenience ------------------------------------------------
+    @property
+    def steal_fraction(self) -> float:
+        """Fraction of produced blocks that travelled on the file path."""
+        snap = self.snapshot()
+        produced = snap.get("blocks_produced", 0.0)
+        if produced <= 0:
+            return 0.0
+        return snap.get("blocks_stolen", 0.0) / produced
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:g}" for k, v in sorted(self.snapshot().items()))
+        return f"<RuntimeStats {parts}>"

@@ -1,0 +1,203 @@
+"""The Zipper facade: couple a producer application with a consumer application.
+
+The library interface mirrors the paper's description: the simulation calls
+``Zipper.write(block_id, data, block_size)`` and the analysis calls
+``Zipper.read()``; everything else (buffering, pipelining, dual-channel
+transfers, Preserve mode) happens in the runtime layer below.
+
+Two levels of convenience are provided:
+
+* :class:`Zipper` — an explicit session object giving access to the producer
+  and consumer runtime modules, for applications that manage their own
+  threads.
+* :func:`zip_applications` — run a producer callable and a consumer callable
+  on separate threads, wire them through a Zipper session, and return the
+  end-to-end statistics.  This is what the examples and most tests use.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.blocks import BlockId, DataBlock
+from repro.core.channels import FileChannel, NetworkChannel
+from repro.core.config import ZipperConfig
+from repro.core.consumer import ConsumerRuntime
+from repro.core.producer import ProducerRuntime
+from repro.core.stats import RuntimeStats
+
+__all__ = ["Zipper", "ZipperResult", "zip_applications"]
+
+
+class Zipper:
+    """One producer/consumer coupling session of the threaded runtime."""
+
+    def __init__(self, config: Optional[ZipperConfig] = None):
+        self.config = config if config is not None else ZipperConfig()
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        if self.config.spill_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="zipper-")
+            spill_dir = Path(self._tempdir.name)
+        else:
+            spill_dir = Path(self.config.spill_dir)
+        self.spill_dir = spill_dir
+        self.stats = RuntimeStats()
+        self.network = NetworkChannel(
+            capacity=0,
+            bandwidth=self.config.network_bandwidth,
+            latency=self.config.network_latency,
+        )
+        self.file_channel = FileChannel(spill_dir, bandwidth=self.config.file_bandwidth)
+        self.producer = ProducerRuntime(
+            self.config, self.network, self.file_channel, self.stats
+        )
+        self.consumer = ConsumerRuntime(
+            self.config, self.network, self.file_channel, self.stats
+        )
+
+    # -- simple pass-through API ------------------------------------------
+    def write(self, block_id: BlockId, data: np.ndarray, **meta) -> float:
+        """Producer-side entry point (``Zipper.write`` in the paper)."""
+        return self.producer.write(block_id, data, **meta)
+
+    def read(self, timeout: Optional[float] = None) -> Optional[DataBlock]:
+        """Consumer-side entry point (``Zipper.read`` in the paper)."""
+        return self.consumer.read(timeout=timeout)
+
+    def release(self, block_id: BlockId) -> bool:
+        return self.consumer.release(block_id)
+
+    def start(self) -> "Zipper":
+        self.producer.start()
+        self.consumer.start()
+        return self
+
+    def finalize_producer(self) -> None:
+        """Flush the producer side and signal end-of-stream to the consumer."""
+        self.producer.close()
+
+    def close(self) -> None:
+        """Shut the whole session down (flushes the producer if still open)."""
+        self.producer.close()
+        self.consumer.join()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "Zipper":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+@dataclass
+class ZipperResult:
+    """Outcome of :func:`zip_applications`."""
+
+    end_to_end_time: float
+    producer_time: float
+    consumer_time: float
+    producer_result: Any
+    consumer_result: Any
+    stats: Dict[str, float] = field(default_factory=dict)
+    config: Optional[ZipperConfig] = None
+
+    @property
+    def stall_time(self) -> float:
+        return self.stats.get("producer_stall_time", 0.0)
+
+    @property
+    def blocks_produced(self) -> int:
+        return int(self.stats.get("blocks_produced", 0))
+
+    @property
+    def blocks_stolen(self) -> int:
+        return int(self.stats.get("blocks_stolen", 0))
+
+    @property
+    def steal_fraction(self) -> float:
+        produced = self.stats.get("blocks_produced", 0.0)
+        if produced <= 0:
+            return 0.0
+        return self.stats.get("blocks_stolen", 0.0) / produced
+
+
+def zip_applications(
+    produce: Callable[[ProducerRuntime], Any],
+    analyze: Callable[[ConsumerRuntime], Any],
+    config: Optional[ZipperConfig] = None,
+) -> ZipperResult:
+    """Run a producer callable and a consumer callable coupled through Zipper.
+
+    ``produce`` receives the :class:`~repro.core.producer.ProducerRuntime` and
+    calls ``write`` for every block it generates; ``analyze`` receives the
+    :class:`~repro.core.consumer.ConsumerRuntime` and typically iterates
+    ``consumer.blocks()``.  Both run concurrently on separate threads; the
+    producer runtime is finalized automatically when ``produce`` returns.
+
+    Any exception raised by either callable is re-raised here after both
+    threads have stopped.
+    """
+    session = Zipper(config)
+    outcome: Dict[str, Any] = {}
+    errors: Dict[str, BaseException] = {}
+
+    def produce_wrapper() -> None:
+        start = time.perf_counter()
+        try:
+            outcome["producer"] = produce(session.producer)
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            errors["producer"] = exc
+        finally:
+            outcome["producer_time"] = time.perf_counter() - start
+            try:
+                session.finalize_producer()
+            except BaseException as exc:  # noqa: BLE001
+                errors.setdefault("producer", exc)
+
+    def analyze_wrapper() -> None:
+        start = time.perf_counter()
+        try:
+            outcome["consumer"] = analyze(session.consumer)
+        except BaseException as exc:  # noqa: BLE001
+            errors["consumer"] = exc
+        finally:
+            outcome["consumer_time"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    session.start()
+    producer_thread = threading.Thread(target=produce_wrapper, name="zipper-app-producer")
+    consumer_thread = threading.Thread(target=analyze_wrapper, name="zipper-app-consumer")
+    producer_thread.start()
+    consumer_thread.start()
+    producer_thread.join()
+    consumer_thread.join()
+    session.consumer.join()
+    end_to_end = time.perf_counter() - start
+    stats = session.stats.snapshot()
+    session_config = session.config
+    if session._tempdir is not None:
+        session._tempdir.cleanup()
+        session._tempdir = None
+
+    if errors:
+        # Prefer the producer error (it usually causes the consumer one).
+        raise errors.get("producer", next(iter(errors.values())))
+
+    return ZipperResult(
+        end_to_end_time=end_to_end,
+        producer_time=outcome.get("producer_time", 0.0),
+        consumer_time=outcome.get("consumer_time", 0.0),
+        producer_result=outcome.get("producer"),
+        consumer_result=outcome.get("consumer"),
+        stats=stats,
+        config=session_config,
+    )

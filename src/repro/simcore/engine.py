@@ -1,0 +1,177 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.simcore.errors import SimulationError
+from repro.simcore.events import Event, NORMAL, Process, Timeout
+
+__all__ = ["Environment", "EmptySchedule", "Infinity"]
+
+#: A time value larger than any event time the models use.
+Infinity = float("inf")
+
+
+class EmptySchedule(Exception):
+    """Raised internally by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Holds the simulation clock and executes events in time order.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds by convention across
+        this code base).
+
+    Notes
+    -----
+    Ties in event time are broken first by scheduling *priority* (urgent events
+    such as process initialisation and interrupts run before normal events),
+    then by insertion order, which keeps the simulation fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+        self._events_processed = 0
+
+    # -- clock and bookkeeping -------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (``None`` between events)."""
+        return self._active_process
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed so far (useful for model stats)."""
+        return self._events_processed
+
+    def __repr__(self) -> str:
+        return (
+            f"<Environment t={self._now:.6g} queued={len(self._queue)} "
+            f"processed={self._events_processed}>"
+        )
+
+    # -- event creation helpers ------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event` bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator`` and return its event."""
+        return Process(self, generator)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Place ``event`` on the queue ``delay`` time units in the future."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        if not self._queue:
+            return Infinity
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to its time)."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} was scheduled twice")
+        for callback in callbacks:
+            callback(event)
+        self._events_processed += 1
+
+        if not event._ok and not event._defused:
+            # Nobody waited on a failed event: surface the error to the caller
+            # rather than silently dropping it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until no events remain;
+            * a number — run until the clock reaches that time;
+            * an :class:`Event` — run until that event has been processed and
+              return its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time!r} lies before the current time {self._now!r}"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            try:
+                self.step()
+            except EmptySchedule:
+                if stop_event is not None and not stop_event.processed:
+                    raise SimulationError(
+                        "run(until=event) exhausted the schedule before the "
+                        "event was triggered"
+                    ) from None
+                if stop_time is not None:
+                    self._now = stop_time
+                return None
+
+    def run_all(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, optionally bounded by ``max_events``.
+
+        Returns the number of events processed by this call.  A bounded run is
+        useful in tests that want to guard against accidental infinite event
+        loops in a model.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"run_all exceeded the budget of {max_events} events"
+                )
+            self.step()
+            processed += 1
+        return processed

@@ -1,0 +1,138 @@
+"""Statistics collection helpers for simulation models.
+
+Two collectors cover the needs of the cluster and runtime models:
+
+* :class:`TallyMonitor` — running statistics over discrete observations
+  (message sizes, per-block service times, stall durations).
+* :class:`TimeSeriesMonitor` — a piecewise-constant time series with
+  time-weighted statistics (queue lengths, buffer occupancy, link utilisation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+__all__ = ["TallyMonitor", "TimeSeriesMonitor"]
+
+
+class TallyMonitor:
+    """Streaming mean/variance/min/max over scalar observations (Welford)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "TallyMonitor") -> "TallyMonitor":
+        """Return a new monitor combining this one with ``other``."""
+        merged = TallyMonitor(self.name or other.name)
+        for mon in (self, other):
+            if mon.count == 0:
+                continue
+            if merged.count == 0:
+                merged.count = mon.count
+                merged.total = mon.total
+                merged._mean = mon._mean
+                merged._m2 = mon._m2
+                merged.minimum = mon.minimum
+                merged.maximum = mon.maximum
+                continue
+            n1, n2 = merged.count, mon.count
+            delta = mon._mean - merged._mean
+            total_n = n1 + n2
+            merged._mean += delta * n2 / total_n
+            merged._m2 += mon._m2 + delta * delta * n1 * n2 / total_n
+            merged.count = total_n
+            merged.total += mon.total
+            merged.minimum = min(merged.minimum, mon.minimum)  # type: ignore[arg-type]
+            merged.maximum = max(merged.maximum, mon.maximum)  # type: ignore[arg-type]
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"<TallyMonitor {self.name!r} n={self.count} mean={self.mean:.6g} "
+            f"min={self.minimum} max={self.maximum}>"
+        )
+
+
+class TimeSeriesMonitor:
+    """A piecewise-constant level over time with time-weighted statistics."""
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self._level = float(initial)
+        self._last_time = float(start_time)
+        self._start_time = float(start_time)
+        self._weighted_sum = 0.0
+        self._weighted_sq_sum = 0.0
+        self.maximum = float(initial)
+        self.minimum = float(initial)
+        self.samples: List[Tuple[float, float]] = [(float(start_time), float(initial))]
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def record(self, time: float, level: float) -> None:
+        """Set the level to ``level`` at simulation time ``time``."""
+        time = float(time)
+        if time < self._last_time:
+            raise ValueError("time must be non-decreasing")
+        dt = time - self._last_time
+        self._weighted_sum += self._level * dt
+        self._weighted_sq_sum += self._level * self._level * dt
+        self._level = float(level)
+        self._last_time = time
+        self.maximum = max(self.maximum, self._level)
+        self.minimum = min(self.minimum, self._level)
+        self.samples.append((time, self._level))
+
+    def increment(self, time: float, delta: float = 1.0) -> None:
+        self.record(time, self._level + delta)
+
+    def decrement(self, time: float, delta: float = 1.0) -> None:
+        self.record(time, self._level - delta)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean level from the start until ``until`` (or last record)."""
+        end = self._last_time if until is None else float(until)
+        if end < self._last_time:
+            raise ValueError("until must not precede the last recorded time")
+        span = end - self._start_time
+        if span <= 0:
+            return self._level
+        extra = self._level * (end - self._last_time)
+        return (self._weighted_sum + extra) / span
+
+    def __repr__(self) -> str:
+        return (
+            f"<TimeSeriesMonitor {self.name!r} level={self._level:.6g} "
+            f"max={self.maximum:.6g}>"
+        )

@@ -1,0 +1,320 @@
+"""Queueing resources for the discrete-event kernel.
+
+Three families of resources are provided, mirroring what the cluster and
+runtime models need:
+
+* :class:`Resource` / :class:`PriorityResource` — a counted set of slots that
+  processes acquire and release (used for NIC send engines, file-system
+  object-storage-target service slots, staging-server request handlers, ...).
+* :class:`Store` / :class:`FilterStore` — a buffer of Python objects with an
+  optional capacity (used for message queues, the Zipper producer/consumer
+  buffers in the simulated runtime, and mailboxes of the simulated MPI layer).
+* :class:`Container` — a continuous quantity with puts and gets (used for
+  memory-pool accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.simcore.errors import SimulationError
+from repro.simcore.events import Event
+
+__all__ = [
+    "Request",
+    "Release",
+    "Resource",
+    "PriorityResource",
+    "StorePut",
+    "StoreGet",
+    "Store",
+    "FilterStore",
+    "Container",
+]
+
+
+class Request(Event):
+    """Event returned by :meth:`Resource.request`; triggers on acquisition."""
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        if self.triggered:
+            raise SimulationError("cannot cancel a granted request; release it")
+        try:
+            self.resource._waiters.remove(self)
+        except ValueError:
+            pass
+
+    # Support `with resource.request() as req:` inside process generators for
+    # readability; the release still has to be explicit via resource.release().
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.triggered and self.usage_since is not None:
+            self.resource.release(self)
+
+
+class Release(Event):
+    """Event returned by :meth:`Resource.release`; triggers immediately."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        resource._do_release(self)
+        self.succeed()
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self._waiters: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Ask for a slot; the returned event triggers when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        """Return a previously granted slot to the pool."""
+        return Release(self, request)
+
+    # -- internal ---------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            self._insert_waiter(request)
+
+    def _insert_waiter(self, request: Request) -> None:
+        self._waiters.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.env.now
+        request.succeed()
+
+    def _do_release(self, release: Release) -> None:
+        try:
+            self.users.remove(release.request)
+        except ValueError:
+            raise SimulationError(
+                "released a request that does not hold the resource"
+            ) from None
+        while self._waiters and len(self.users) < self._capacity:
+            nxt = self._pop_waiter()
+            self._grant(nxt)
+
+    def _pop_waiter(self) -> Request:
+        return self._waiters.pop(0)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiters are served lowest-priority-value first."""
+
+    def _insert_waiter(self, request: Request) -> None:
+        # Stable insert: equal priorities keep FIFO order.
+        idx = len(self._waiters)
+        for i, waiting in enumerate(self._waiters):
+            if request.priority < waiting.priority:
+                idx = i
+                break
+        self._waiters.insert(idx, request)
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; triggers once the item is stored."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; its value is the retrieved item."""
+
+    def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter_fn = filter_fn
+        store._get_waiters.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw a pending get (used by timeout races in the models)."""
+        if self.triggered:
+            raise SimulationError("cannot cancel a completed get")
+        # The store holds a reference in _get_waiters; mark as cancelled so the
+        # dispatcher skips it.
+        self.filter_fn = _never_match
+
+
+def _never_match(_item: Any) -> bool:
+    return False
+
+
+class Store:
+    """A FIFO buffer of arbitrary items with optional bounded capacity."""
+
+    def __init__(self, env, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Add ``item``; the event triggers when capacity permits storage."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove and return the oldest item (waits if the store is empty)."""
+        return StoreGet(self)
+
+    # -- internal ---------------------------------------------------------
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit puts while there is room.
+            while self._put_waiters and len(self.items) < self._capacity:
+                put = self._put_waiters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Serve gets while items match.
+            i = 0
+            while i < len(self._get_waiters):
+                get = self._get_waiters[i]
+                matched = self._match(get)
+                if matched is not None:
+                    self._get_waiters.pop(i)
+                    get.succeed(matched)
+                    progress = True
+                else:
+                    i += 1
+
+    def _match(self, get: StoreGet) -> Optional[Any]:
+        if get.filter_fn is None:
+            if self.items:
+                return self.items.pop(0)
+            return None
+        for idx, item in enumerate(self.items):
+            if get.filter_fn(item):
+                return self.items.pop(idx)
+        return None
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose getters may select items with a predicate."""
+
+    def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+        return StoreGet(self, filter_fn)
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        if amount <= 0:
+            raise SimulationError("put amount must be positive")
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._dispatch()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        if amount <= 0:
+            raise SimulationError("get amount must be positive")
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A continuous quantity (e.g. bytes of buffer memory) with blocking put/get."""
+
+    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("init must lie within [0, capacity]")
+        self.env = env
+        self._capacity = capacity
+        self._level = float(init)
+        self._put_waiters: List[ContainerPut] = []
+        self._get_waiters: List[ContainerGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Deposit ``amount`` (waits while it would exceed capacity)."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Withdraw ``amount`` (waits until that much is available)."""
+        return ContainerGet(self, amount)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._put_waiters:
+                put = self._put_waiters[0]
+                if self._level + put.amount <= self._capacity:
+                    self._put_waiters.pop(0)
+                    self._level += put.amount
+                    put.succeed()
+                    progress = True
+            if self._get_waiters:
+                get = self._get_waiters[0]
+                if get.amount <= self._level:
+                    self._get_waiters.pop(0)
+                    self._level -= get.amount
+                    get.succeed(get.amount)
+                    progress = True

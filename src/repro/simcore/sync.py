@@ -1,0 +1,196 @@
+"""Synchronisation primitives built on the event kernel.
+
+These model the synchronisation mechanisms the paper's Section 3 identifies as
+performance bottlenecks in the baseline transports (reader/writer locks in
+DataSpaces/DIMES, global barriers in Decaf and Flexpath) and the condition
+variables Zipper's own work-stealing writer thread uses (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.simcore.errors import SimulationError
+from repro.simcore.events import Event
+
+__all__ = ["Mutex", "Semaphore", "SimBarrier", "ConditionVar", "OneShotSignal"]
+
+
+class Mutex:
+    """A non-reentrant mutual-exclusion lock with FIFO waiters.
+
+    ``acquire()`` returns an event that triggers when the lock is granted; the
+    owner must call ``release()`` exactly once.  Ownership is tracked by an
+    opaque token (the acquire event) so misuse is detected.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._owner: Optional[Event] = None
+        self._waiters: List[Event] = []
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = Event(self.env)
+        if self._owner is None:
+            self._owner = ev
+            self.acquisitions += 1
+            ev.succeed(ev)
+        else:
+            self.contended_acquisitions += 1
+            self._waiters.append(ev)
+        return ev
+
+    def release(self, token: Optional[Event] = None) -> None:
+        if self._owner is None:
+            raise SimulationError("release of an unlocked Mutex")
+        if token is not None and token is not self._owner:
+            raise SimulationError("release by a non-owner")
+        if self._waiters:
+            nxt = self._waiters.pop(0)
+            self._owner = nxt
+            self.acquisitions += 1
+            nxt.succeed(nxt)
+        else:
+            self._owner = None
+
+
+class Semaphore:
+    """A counting semaphore with FIFO waiters."""
+
+    def __init__(self, env, value: int = 1):
+        if value < 0:
+            raise SimulationError("initial value must be non-negative")
+        self.env = env
+        self._value = value
+        self._waiters: List[Event] = []
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Event:
+        ev = Event(self.env)
+        if self._value > 0:
+            self._value -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            self._value += 1
+
+
+class SimBarrier:
+    """A reusable barrier over ``parties`` simulated processes.
+
+    Models the collective barriers (``MPI_Barrier``, Decaf's per-step
+    ``MPI_Waitall`` interlock) whose cost the paper measures.  Each call to
+    :meth:`wait` returns an event that triggers once all parties of the current
+    generation have arrived.
+    """
+
+    def __init__(self, env, parties: int):
+        if parties <= 0:
+            raise SimulationError("parties must be positive")
+        self.env = env
+        self.parties = parties
+        self._arrived: List[Event] = []
+        self.generations_completed = 0
+
+    @property
+    def waiting(self) -> int:
+        return len(self._arrived)
+
+    def wait(self) -> Event:
+        ev = Event(self.env)
+        self._arrived.append(ev)
+        if len(self._arrived) >= self.parties:
+            generation, self._arrived = self._arrived, []
+            self.generations_completed += 1
+            for waiter in generation:
+                waiter.succeed(self.generations_completed)
+        return ev
+
+
+class ConditionVar:
+    """A condition variable: processes wait for an explicit notify.
+
+    Unlike a POSIX condition variable there is no associated mutex; the model
+    code re-checks its predicate after being woken, exactly as Algorithm 1 in
+    the paper does ("wait on a condition variable and release the lock").
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._waiters: List[Event] = []
+        self.notifications = 0
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        ev = Event(self.env)
+        self._waiters.append(ev)
+        return ev
+
+    def notify(self, n: int = 1, value: Any = None) -> int:
+        """Wake up to ``n`` waiters; returns the number actually woken."""
+        woken = 0
+        while self._waiters and woken < n:
+            self._waiters.pop(0).succeed(value)
+            woken += 1
+        self.notifications += woken
+        return woken
+
+    def notify_all(self, value: Any = None) -> int:
+        return self.notify(len(self._waiters), value)
+
+
+class OneShotSignal:
+    """A latch that is set once and releases every past and future waiter.
+
+    Used to model "end of stream" notifications (e.g. the producer application
+    telling the Zipper consumer runtime that no further blocks will arrive).
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._set = False
+        self._value: Any = None
+        self._waiters: List[Event] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self, value: Any = None) -> None:
+        if self._set:
+            return
+        self._set = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)
+
+    def wait(self) -> Event:
+        ev = Event(self.env)
+        if self._set:
+            ev.succeed(self._value)
+        else:
+            self._waiters.append(ev)
+        return ev

@@ -1,0 +1,18 @@
+"""A simulated MPI layer running on the cluster model.
+
+The baseline transports and the proxy applications are written against the
+same message-passing semantics they would use on a real machine: eager
+point-to-point sends, ``Sendrecv`` halo exchanges, non-blocking requests with
+``Waitall``, barriers, and reductions.  Collective costs scale with the size
+of the *represented* job (not just the modelled ranks), so that Decaf's
+``MPI_Waitall`` interlock and the global barriers of the other baselines get
+more expensive at 13,056 cores than at 204 — one of the effects behind the
+paper's Figures 16 and 18.
+"""
+
+from repro.simmpi.message import Message
+from repro.simmpi.request import SimRequest
+from repro.simmpi.comm import Communicator
+from repro.simmpi.mpiio import MPIFile
+
+__all__ = ["Message", "SimRequest", "Communicator", "MPIFile"]

@@ -1,0 +1,214 @@
+"""Simulated MPI communicator."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator, List, Optional, Sequence
+
+from repro.cluster.machine import Cluster
+from repro.simcore import AllOf, FilterStore, SimBarrier, Timeout
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message
+from repro.simmpi.request import SimRequest
+from repro.trace import Tracer
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """A group of ranks placed on cluster nodes, with MPI-style operations.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster the ranks run on.
+    rank_nodes:
+        ``rank_nodes[r]`` is the modelled node hosting rank ``r``.
+    represented_size:
+        Number of ranks in the full job this communicator stands for
+        (defaults to ``len(rank_nodes)``); collective costs scale with this.
+    tracer:
+        Optional :class:`~repro.trace.Tracer` receiving spans for the MPI calls
+        (categories ``sendrecv``, ``barrier``, ``waitall``, ``allreduce``).
+    name:
+        Label used in traces and debugging output.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        rank_nodes: Sequence[int],
+        represented_size: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        name: str = "world",
+    ):
+        if not rank_nodes:
+            raise ValueError("a communicator needs at least one rank")
+        for node in rank_nodes:
+            if not 0 <= node < cluster.num_nodes:
+                raise ValueError(f"node {node} outside the cluster")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.network = cluster.network
+        self.rank_nodes: List[int] = list(rank_nodes)
+        self.represented_size = (
+            int(represented_size) if represented_size else len(rank_nodes)
+        )
+        if self.represented_size < len(rank_nodes):
+            raise ValueError("represented_size cannot be smaller than the rank count")
+        self.tracer = tracer
+        self.name = name
+        self._mailboxes: List[FilterStore] = [
+            FilterStore(self.env) for _ in rank_nodes
+        ]
+        self._barrier = SimBarrier(self.env, len(rank_nodes))
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of modelled ranks."""
+        return len(self.rank_nodes)
+
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return self.rank_nodes[rank]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+
+    def _collective_latency(self) -> float:
+        """Software latency of one tree-structured collective over the full job."""
+        spec = self.network.spec
+        depth = max(1.0, math.log2(max(2, self.represented_size)))
+        return depth * (spec.latency + spec.per_message_overhead)
+
+    # -- point to point ------------------------------------------------------
+    def send(
+        self,
+        source: int,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        payload: Any = None,
+        flow: str = "msg",
+        congestion_weight: float = 1.0,
+    ) -> Generator:
+        """Blocking (eager) send: completes once the data reaches the receiver's node."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        msg = Message(source, dest, tag, nbytes, payload, sent_at=self.env.now)
+        result = yield from self.network.transfer(
+            self.rank_nodes[source],
+            self.rank_nodes[dest],
+            nbytes,
+            flow=flow,
+            congestion_weight=congestion_weight,
+        )
+        msg.delivered_at = self.env.now
+        yield self._mailboxes[dest].put(msg)
+        return result
+
+    def recv(self, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive: waits for a matching message, returns the :class:`Message`."""
+        self._check_rank(rank)
+        msg = yield self._mailboxes[rank].get(lambda m: m.matches(source, tag))
+        return msg
+
+    def isend(
+        self,
+        source: int,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        payload: Any = None,
+        flow: str = "msg",
+        congestion_weight: float = 1.0,
+    ) -> SimRequest:
+        """Non-blocking send; returns a :class:`SimRequest`."""
+        proc = self.env.process(
+            self.send(source, dest, nbytes, tag, payload, flow, congestion_weight)
+        )
+        return SimRequest(proc, "isend", source, dest, nbytes)
+
+    def irecv(self, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> SimRequest:
+        """Non-blocking receive; returns a :class:`SimRequest`."""
+        proc = self.env.process(self.recv(rank, source, tag))
+        return SimRequest(proc, "irecv", rank, source, 0)
+
+    def sendrecv(
+        self,
+        rank: int,
+        dest: int,
+        send_bytes: int,
+        source: int,
+        recv_tag: int = 0,
+        send_tag: int = 0,
+    ) -> Generator:
+        """``MPI_Sendrecv``: exchange with neighbours, as the LBM streaming phase does.
+
+        The traced duration of this call is what the paper's Figures 5 and 6
+        show growing once a staging library competes for the same NIC.
+        """
+        start = self.env.now
+        send_req = self.isend(rank, dest, send_bytes, tag=send_tag)
+        recv_req = self.irecv(rank, source, tag=recv_tag)
+        yield AllOf(self.env, [send_req.event, recv_req.event])
+        if self.tracer is not None:
+            self.tracer.record(rank, "sendrecv", start, self.env.now, dest=dest, source=source)
+        return recv_req.value
+
+    def waitall(self, rank: int, requests: Sequence[SimRequest]) -> Generator:
+        """``MPI_Waitall`` over a list of requests (traced per rank)."""
+        start = self.env.now
+        events = [r.event for r in requests]
+        if events:
+            yield AllOf(self.env, events)
+        if self.tracer is not None:
+            self.tracer.record(rank, "waitall", start, self.env.now, count=len(requests))
+        return [r.value for r in requests]
+
+    # -- collectives ---------------------------------------------------------
+    def barrier(self, rank: int) -> Generator:
+        """Global barrier across the communicator (cost scales with the full job)."""
+        self._check_rank(rank)
+        start = self.env.now
+        yield self._barrier.wait()
+        yield Timeout(self.env, self._collective_latency())
+        if self.tracer is not None:
+            self.tracer.record(rank, "barrier", start, self.env.now)
+
+    def allreduce(self, rank: int, nbytes: int = 8) -> Generator:
+        """Allreduce of ``nbytes`` per rank (recursive-doubling cost model)."""
+        self._check_rank(rank)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self.env.now
+        yield self._barrier.wait()
+        spec = self.network.spec
+        depth = max(1.0, math.log2(max(2, self.represented_size)))
+        per_stage = spec.latency + spec.per_message_overhead + nbytes / spec.link_bandwidth
+        yield Timeout(self.env, 2.0 * depth * per_stage)
+        if self.tracer is not None:
+            self.tracer.record(rank, "allreduce", start, self.env.now, nbytes=nbytes)
+
+    def gather(self, rank: int, nbytes: int, root: int = 0) -> Generator:
+        """Gather ``nbytes`` from every rank to ``root`` (tree cost model)."""
+        self._check_rank(rank)
+        self._check_rank(root)
+        start = self.env.now
+        yield self._barrier.wait()
+        spec = self.network.spec
+        depth = max(1.0, math.log2(max(2, self.represented_size)))
+        total_bytes = nbytes * self.represented_size
+        # The root's ejection bandwidth bounds the gather.
+        duration = depth * (spec.latency + spec.per_message_overhead)
+        duration += total_bytes / spec.link_bandwidth
+        yield Timeout(self.env, duration)
+        if self.tracer is not None:
+            self.tracer.record(rank, "gather", start, self.env.now, nbytes=nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Communicator {self.name!r} size={self.size} "
+            f"represents={self.represented_size}>"
+        )

@@ -1,0 +1,48 @@
+"""Message envelope used by the simulated MPI layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Message", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcards mirroring ``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG``.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    """An in-flight or delivered message.
+
+    Only metadata travels through the simulator — ``payload`` is an arbitrary
+    Python object (block descriptors, step indices, ...) and ``nbytes`` is the
+    size the network model charges for.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: int
+    payload: Any = None
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+    @property
+    def latency(self) -> float:
+        """Time from send to delivery (0 until delivered)."""
+        if self.delivered_at <= 0:
+            return 0.0
+        return self.delivered_at - self.sent_at
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this message satisfies a receive posted for (source, tag)."""
+        source_ok = source == ANY_SOURCE or source == self.source
+        tag_ok = tag == ANY_TAG or tag == self.tag
+        return source_ok and tag_ok

@@ -1,0 +1,43 @@
+"""Non-blocking request handles for the simulated MPI layer."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.simcore import Event
+
+__all__ = ["SimRequest"]
+
+
+class SimRequest:
+    """Handle for a non-blocking operation (``isend``/``irecv``).
+
+    Wraps the underlying simulation event; ``wait`` (yield ``request.event``)
+    completes when the operation does.  ``value`` holds the received
+    :class:`~repro.simmpi.message.Message` for receives, the
+    :class:`~repro.cluster.network.TransferResult` for sends.
+    """
+
+    def __init__(self, event: Event, kind: str, rank: int, peer: int, nbytes: int):
+        self.event = event
+        self.kind = kind
+        self.rank = rank
+        self.peer = peer
+        self.nbytes = nbytes
+
+    @property
+    def complete(self) -> bool:
+        return self.event.processed or self.event.triggered
+
+    @property
+    def value(self) -> Optional[Any]:
+        if not self.event.triggered:
+            return None
+        return self.event.value
+
+    def __repr__(self) -> str:
+        state = "done" if self.complete else "pending"
+        return (
+            f"<SimRequest {self.kind} rank={self.rank} peer={self.peer} "
+            f"nbytes={self.nbytes} {state}>"
+        )

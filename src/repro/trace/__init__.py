@@ -1,0 +1,38 @@
+"""Tracing and Gantt-timeline utilities.
+
+The paper relies on TAU and Intel Trace Analyzer traces (Figures 4, 5, 6, 17
+and 19) to explain *why* each transport behaves the way it does: where
+simulation ranks stall, how long ``MPI_Sendrecv`` takes with and without a
+staging library, how many time steps fit into a fixed wall-clock window.
+
+This package provides the same capability for the simulated workflows and the
+threaded Zipper runtime:
+
+* :class:`Tracer` records ``(rank, category, start, end, meta)`` spans;
+* :class:`Timeline` / :class:`GanttRow` turn a trace into per-rank rows
+  suitable for textual rendering or plotting;
+* :func:`summarize_categories` and :func:`steps_in_window` compute the
+  aggregate quantities quoted in the paper (per-category time, steps completed
+  within a snapshot window).
+"""
+
+from repro.trace.tracer import Span, Tracer
+from repro.trace.gantt import GanttRow, Timeline, render_ascii
+from repro.trace.analysis import (
+    summarize_categories,
+    steps_in_window,
+    category_share,
+    compare_traces,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "GanttRow",
+    "Timeline",
+    "render_ascii",
+    "summarize_categories",
+    "steps_in_window",
+    "category_share",
+    "compare_traces",
+]

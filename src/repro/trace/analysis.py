@@ -1,0 +1,91 @@
+"""Aggregate analysis over traces: the numbers quoted alongside the paper's trace figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.trace.gantt import Timeline
+from repro.trace.tracer import Tracer
+
+__all__ = [
+    "summarize_categories",
+    "steps_in_window",
+    "category_share",
+    "compare_traces",
+]
+
+
+def summarize_categories(tracer: Tracer, rank: Optional[int] = None) -> Dict[str, float]:
+    """Total time per category (over all ranks, or one rank)."""
+    out: Dict[str, float] = {}
+    for span in tracer.spans:
+        if rank is not None and span.rank != rank:
+            continue
+        out[span.category] = out.get(span.category, 0.0) + span.duration
+    return out
+
+
+def category_share(tracer: Tracer, category: str, rank: Optional[int] = None) -> float:
+    """Fraction of traced time spent in ``category`` (0 if the trace is empty)."""
+    sums = summarize_categories(tracer, rank)
+    total = sum(sums.values())
+    if total <= 0:
+        return 0.0
+    return sums.get(category, 0.0) / total
+
+
+def steps_in_window(
+    tracer: Tracer,
+    t0: float,
+    t1: float,
+    step_category: str = "step",
+    rank: Optional[int] = None,
+) -> float:
+    """How many application time steps complete inside the window ``[t0, t1]``.
+
+    The paper's trace comparisons count steps within a fixed snapshot (e.g.
+    "Zipper runs three simulation steps while Decaf runs two"); partial steps
+    count fractionally by the overlapped portion of their duration.
+    """
+    if t1 < t0:
+        raise ValueError("t1 must not precede t0")
+    count = 0.0
+    for span in tracer.spans_for(rank=rank, category=step_category):
+        if not span.overlaps(t0, t1) or span.duration <= 0:
+            continue
+        clipped = span.clipped(t0, t1)
+        count += clipped.duration / span.duration
+    return count
+
+
+def compare_traces(
+    a: Tracer,
+    b: Tracer,
+    window: float,
+    step_category: str = "step",
+    rank: int = 0,
+) -> Dict[str, float]:
+    """Compare two traces over an equal-length window starting at each trace's origin.
+
+    Returns the number of steps each trace completes inside the window and the
+    resulting speed ratio (``a`` relative to ``b``), which is how the paper
+    quantifies Figure 17 ("this speedup of 1.4x is almost the same as the
+    speedup shown in Figure 16 on 204 cores").
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+
+    def origin(tracer: Tracer) -> float:
+        spans = tracer.spans_for(rank=rank)
+        return min((s.start for s in spans), default=0.0)
+
+    a0, b0 = origin(a), origin(b)
+    steps_a = steps_in_window(a, a0, a0 + window, step_category, rank)
+    steps_b = steps_in_window(b, b0, b0 + window, step_category, rank)
+    ratio = steps_a / steps_b if steps_b > 0 else float("inf")
+    return {"steps_a": steps_a, "steps_b": steps_b, "ratio": ratio}
+
+
+def timeline(tracer: Tracer, t0: Optional[float] = None, t1: Optional[float] = None) -> Timeline:
+    """Convenience wrapper building a :class:`~repro.trace.gantt.Timeline`."""
+    return Timeline(tracer, t0, t1)

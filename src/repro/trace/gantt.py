@@ -1,0 +1,130 @@
+"""Gantt-style timelines built from traces (the paper's Figures 4–6, 17, 19)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.trace.tracer import Span, Tracer
+
+__all__ = ["GanttRow", "Timeline", "render_ascii"]
+
+
+@dataclass
+class GanttRow:
+    """All spans of one rank, clipped to the timeline window and sorted."""
+
+    rank: int
+    spans: List[Span]
+
+    def busy_time(self) -> float:
+        return sum(s.duration for s in self.spans)
+
+    def category_time(self, category: str) -> float:
+        return sum(s.duration for s in self.spans if s.category == category)
+
+
+class Timeline:
+    """A window ``[t0, t1]`` of a trace organised per rank.
+
+    This mirrors how the paper presents traces: a snapshot of a few seconds is
+    cut out of the full execution and examined rank by rank.
+    """
+
+    def __init__(self, tracer: Tracer, t0: Optional[float] = None, t1: Optional[float] = None):
+        spans = tracer.spans
+        if not spans:
+            self.t0 = 0.0 if t0 is None else t0
+            self.t1 = 0.0 if t1 is None else t1
+            self.rows: List[GanttRow] = []
+            return
+        lo = min(s.start for s in spans)
+        hi = max(s.end for s in spans)
+        self.t0 = lo if t0 is None else float(t0)
+        self.t1 = hi if t1 is None else float(t1)
+        if self.t1 < self.t0:
+            raise ValueError("t1 must not precede t0")
+        by_rank: Dict[int, List[Span]] = {}
+        for s in spans:
+            if s.overlaps(self.t0, self.t1):
+                by_rank.setdefault(s.rank, []).append(s.clipped(self.t0, self.t1))
+        self.rows = [
+            GanttRow(rank, sorted(rank_spans, key=lambda s: s.start))
+            for rank, rank_spans in sorted(by_rank.items())
+        ]
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def row(self, rank: int) -> GanttRow:
+        for r in self.rows:
+            if r.rank == rank:
+                return r
+        raise KeyError(f"rank {rank} not present in this timeline")
+
+    def categories(self) -> List[str]:
+        return sorted({s.category for row in self.rows for s in row.spans})
+
+    def category_time(self, category: str) -> float:
+        """Total time in ``category`` across all ranks within the window."""
+        return sum(row.category_time(category) for row in self.rows)
+
+
+#: Single-character glyphs used by :func:`render_ascii` for common categories.
+_DEFAULT_GLYPHS = {
+    "compute": "C",
+    "collision": "c",
+    "streaming": "s",
+    "update": "u",
+    "analysis": "A",
+    "transfer": "T",
+    "put": "P",
+    "get": "G",
+    "stall": ".",
+    "lock": "L",
+    "barrier": "B",
+    "waitall": "W",
+    "sendrecv": "x",
+    "io_write": "w",
+    "io_read": "r",
+    "idle": " ",
+}
+
+
+def render_ascii(
+    timeline: Timeline,
+    width: int = 100,
+    glyphs: Optional[Dict[str, str]] = None,
+    ranks: Optional[Sequence[int]] = None,
+) -> str:
+    """Render a timeline as fixed-width ASCII art, one row per rank.
+
+    Later spans overwrite earlier ones within a character cell; unknown
+    categories use the first letter of their name.  The rendering is meant for
+    terminal inspection and documentation, not pixel accuracy.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    table = dict(_DEFAULT_GLYPHS)
+    if glyphs:
+        table.update(glyphs)
+    span_t0, span_t1 = timeline.t0, timeline.t1
+    total = max(span_t1 - span_t0, 1e-12)
+    lines: List[str] = []
+    selected = timeline.rows
+    if ranks is not None:
+        wanted = set(ranks)
+        selected = [r for r in selected if r.rank in wanted]
+    for row in selected:
+        cells = [" "] * width
+        for span in row.spans:
+            a = int((span.start - span_t0) / total * width)
+            b = int((span.end - span_t0) / total * width)
+            b = max(b, a + 1)
+            glyph = table.get(span.category, span.category[:1] or "?")
+            for i in range(a, min(b, width)):
+                cells[i] = glyph
+        lines.append(f"rank {row.rank:>4} |{''.join(cells)}|")
+    header = f"t = [{span_t0:.4f}, {span_t1:.4f}] s, width {width} chars"
+    return "\n".join([header] + lines)

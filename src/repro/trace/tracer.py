@@ -1,0 +1,120 @@
+"""Span recording for simulated and threaded executions."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced interval on one rank's timeline."""
+
+    rank: int
+    category: str
+    start: float
+    end: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span ends ({self.end}) before it starts ({self.start})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """Whether any part of the span lies inside the window ``[t0, t1]``."""
+        return self.start < t1 and self.end > t0
+
+    def clipped(self, t0: float, t1: float) -> "Span":
+        """The portion of the span inside ``[t0, t1]``."""
+        return Span(
+            self.rank,
+            self.category,
+            max(self.start, t0),
+            min(self.end, t1),
+            dict(self.meta),
+        )
+
+
+class Tracer:
+    """Collects spans, optionally filtered, from a workflow execution.
+
+    The tracer is deliberately clock-agnostic: callers pass explicit start and
+    end times (the simulation clock for simulated runs, ``time.perf_counter``
+    for the threaded runtime), or use :meth:`span` with a ``clock`` callable.
+    """
+
+    def __init__(self, enabled: bool = True, categories: Optional[List[str]] = None):
+        self.enabled = enabled
+        self._category_filter = set(categories) if categories is not None else None
+        self._spans: List[Span] = []
+
+    def record(
+        self,
+        rank: int,
+        category: str,
+        start: float,
+        end: float,
+        **meta: Any,
+    ) -> Optional[Span]:
+        """Record one span (no-op if tracing is disabled or filtered out)."""
+        if not self.enabled:
+            return None
+        if self._category_filter is not None and category not in self._category_filter:
+            return None
+        span = Span(rank, category, start, end, meta)
+        self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, rank: int, category: str, clock: Callable[[], float], **meta: Any) -> Iterator[None]:
+        """Context manager that records the wall time of its body."""
+        start = clock()
+        try:
+            yield
+        finally:
+            self.record(rank, category, start, clock(), **meta)
+
+    # -- access -----------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def ranks(self) -> List[int]:
+        return sorted({s.rank for s in self._spans})
+
+    def categories(self) -> List[str]:
+        return sorted({s.category for s in self._spans})
+
+    def spans_for(self, rank: Optional[int] = None, category: Optional[str] = None) -> List[Span]:
+        """Spans filtered by rank and/or category, in recording order."""
+        out = self._spans
+        if rank is not None:
+            out = [s for s in out if s.rank == rank]
+        if category is not None:
+            out = [s for s in out if s.category == category]
+        return list(out)
+
+    def total_time(self, category: str, rank: Optional[int] = None) -> float:
+        """Sum of span durations for ``category`` (optionally one rank)."""
+        return sum(s.duration for s in self.spans_for(rank, category))
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def merge(self, other: "Tracer") -> "Tracer":
+        """Return a new tracer containing the spans of both inputs."""
+        merged = Tracer(enabled=True)
+        merged._spans = sorted(
+            self._spans + other._spans, key=lambda s: (s.start, s.rank)
+        )
+        return merged

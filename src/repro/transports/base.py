@@ -1,0 +1,107 @@
+"""Common interface of the simulated I/O transport methods."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Generator
+
+__all__ = ["Transport", "TransportFault", "empty_generator"]
+
+
+class TransportFault(RuntimeError):
+    """A software fault of a transport (e.g. Decaf's integer overflow).
+
+    The paper reports that several baselines crash at large scale; the
+    corresponding transport models raise this exception so the workflow runner
+    can record the failure exactly as the paper does (and plot the "ideal"
+    dotted continuation instead).
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def empty_generator() -> Generator:
+    """A generator that finishes immediately (for no-op transport hooks)."""
+    return
+    yield  # pragma: no cover - makes this function a generator
+
+
+class Transport(ABC):
+    """Behavioural model of one I/O transport method.
+
+    A transport is instantiated once per workflow run.  The workflow runner
+    calls, in order:
+
+    1. :meth:`setup` — create staging/link server processes and per-rank state;
+    2. :meth:`producer_put` from every simulation rank, once per time step;
+    3. :meth:`producer_finalize` from every simulation rank after its last step;
+    4. :meth:`consumer_run` once per analysis rank — the transport drives the
+       whole consumer loop, invoking the supplied ``analyze(nbytes, step)``
+       sub-generator for every piece of data it delivers;
+    5. :meth:`teardown` after all ranks finished.
+
+    All generator hooks run inside the discrete-event simulation; they must
+    ``yield`` only simulation events (typically via ``yield from`` on cluster,
+    communicator or file-system operations).
+
+    The context object (``ctx``) is a :class:`repro.workflow.context.WorkflowContext`;
+    transports use its placement, mapping, statistics and tracing helpers and
+    must not keep state outside ``self`` and ``ctx``.
+    """
+
+    #: Registry name (overridden by subclasses).
+    name: str = "abstract"
+    #: Whether the paper classifies the method as having multiple failure
+    #: domains (each application launched by its own mpirun/aprun).
+    multiple_failure_domains: bool = True
+    #: Whether dedicated staging resources (servers/link ranks) are required.
+    uses_staging_ranks: bool = False
+
+    def setup(self, ctx) -> None:
+        """Create per-run state and spawn any server processes."""
+
+    @abstractmethod
+    def producer_put(self, ctx, rank: int, step: int, nbytes: int) -> Generator:
+        """Ship one step's output (``nbytes``) from simulation rank ``rank``."""
+
+    def producer_finalize(self, ctx, rank: int) -> Generator:
+        """Flush buffered data and signal end-of-stream for ``rank``."""
+        return empty_generator()
+
+    @abstractmethod
+    def consumer_run(self, ctx, arank: int, analyze: Callable[[int, int], Generator]) -> Generator:
+        """Run the whole consumer loop of analysis rank ``arank``.
+
+        ``analyze(nbytes, step)`` is a sub-generator provided by the runner
+        that charges the analysis compute time for one delivered piece of
+        data; the transport decides when and how often to call it (per step
+        for the coarse-grain baselines, per fine-grain block for Zipper).
+        """
+
+    def teardown(self, ctx) -> None:
+        """Release any resources created in :meth:`setup`."""
+
+    # -- helpers shared by implementations ---------------------------------
+    def transfer_sim_to_analysis(
+        self,
+        ctx,
+        sim_rank: int,
+        arank: int,
+        nbytes: int,
+        flow: str = "msg",
+        congestion_weight: float = 1.0,
+    ) -> Generator:
+        """Move ``nbytes`` from a simulation rank's node to an analysis rank's node."""
+        result = yield from ctx.cluster.network.transfer(
+            ctx.sim_node(sim_rank),
+            ctx.analysis_node(arank),
+            nbytes,
+            flow=flow,
+            congestion_weight=congestion_weight,
+        )
+        return result
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

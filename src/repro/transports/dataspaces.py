@@ -1,0 +1,126 @@
+"""DataSpaces: a virtual shared space hosted on dedicated staging servers.
+
+Every ``put`` acquires a write lock from the lock service, pushes the step's
+data to a staging-server node over RDMA and updates the server-side metadata;
+every ``get`` acquires a read lock, queries the metadata and pulls the data
+from the server node.  The extra network hop (simulation node → server node →
+analysis node) and the reader/writer interlock through the lock slots are what
+place DataSpaces behind DIMES in Figure 2.
+
+The ``adios`` flavour models the same library driven through the ADIOS uniform
+interface: the native fine-grained multi-lock strategy is not reachable
+through that interface, so the window degrades to a single slot and every
+operation pays an additional interface/metadata overhead — the ≈ 1.3x gap the
+paper measured between ADIOS/DataSpaces and native DataSpaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator
+
+from repro.transports.base import Transport
+from repro.transports.registry import register_transport
+from repro.transports.staging import ArrivalBoard, StagingLockService, StepWindow
+
+__all__ = ["DataSpacesTransport"]
+
+
+class _BaseDataSpaces(Transport):
+    """Shared implementation of the native and ADIOS-driven flavours."""
+
+    multiple_failure_domains = True
+    uses_staging_ranks = True
+
+    #: Number of circular lock slots (overridden by the flavours).
+    num_slots = 4
+    #: Extra per-operation overhead of the uniform ADIOS interface, seconds.
+    interface_overhead = 0.0
+
+    def __init__(self, lock_service: StagingLockService | None = None):
+        self.locks = lock_service if lock_service is not None else StagingLockService()
+        self._window: StepWindow | None = None
+        self._board: ArrivalBoard | None = None
+
+    def setup(self, ctx) -> None:
+        self._window = StepWindow(ctx.env, self.num_slots, ctx.analysis_ranks)
+        self._board = ArrivalBoard(ctx.env, ctx.analysis_ranks)
+
+    # -- producer -----------------------------------------------------------
+    def producer_put(self, ctx, rank: int, step: int, nbytes: int) -> Generator:
+        env = ctx.env
+        node = ctx.sim_node(rank)
+        assert self._window is not None
+
+        # dspaces_lock_on_write(step % num_slots): wait for the slot, then the
+        # lock-service round trip itself.
+        yield from self._window.wait_for_write(ctx, rank, step)
+        lock_start = env.now
+        yield from self.locks.request(ctx, node, kind="lock")
+        if self.interface_overhead > 0:
+            yield env.timeout(self.interface_overhead)
+        ctx.sim_rank_stats[rank]["lock_time"] += env.now - lock_start
+
+        # Push the data to this rank's staging server node.
+        server_node = ctx.staging_node(ctx.staging_target_of(rank))
+        put_start = env.now
+        yield from ctx.cluster.network.transfer(
+            node, server_node, nbytes, flow="dataspaces-put"
+        )
+        ctx.sim_rank_stats[rank]["transfer_busy_time"] += env.now - put_start
+        ctx.stats["bytes_network"] += nbytes
+
+        # Metadata update + unlock.
+        yield from self.locks.request(ctx, node, kind="unlock")
+        if self.interface_overhead > 0:
+            yield env.timeout(self.interface_overhead)
+        assert self._board is not None
+        self._board.deposit(ctx.consumer_of(rank), step)
+
+    # -- consumer -------------------------------------------------------------
+    def consumer_run(self, ctx, arank: int, analyze: Callable[[int, int], Generator]) -> Generator:
+        env = ctx.env
+        node = ctx.analysis_node(arank)
+        assert self._window is not None and self._board is not None
+        producers = ctx.producers_of(arank)
+        for step in range(ctx.steps):
+            # lock_on_read: wait (with one metadata query when woken) until
+            # every producer of this consumer deposited its data for the step.
+            yield from self._board.wait_until_ready(ctx, arank, step, len(producers))
+            yield from self.locks.request(ctx, node, kind="read-poll")
+
+            lock_start = env.now
+            yield from self.locks.request(ctx, node, kind="lock")
+            if self.interface_overhead > 0:
+                yield env.timeout(self.interface_overhead)
+            ctx.analysis_rank_stats[arank]["lock_time"] += env.now - lock_start
+
+            # Pull every producer's data from the staging servers.
+            for rank in producers:
+                server_node = ctx.staging_node(ctx.staging_target_of(rank))
+                get_start = env.now
+                yield from ctx.cluster.network.transfer(
+                    server_node, node, ctx.step_output_bytes(), flow="dataspaces-get"
+                )
+                ctx.analysis_rank_stats[arank]["get_time"] += env.now - get_start
+            yield from self.locks.request(ctx, node, kind="unlock")
+
+            yield from analyze(ctx.consumer_step_bytes(arank), step)
+            self._window.mark_consumed(arank, step)
+
+
+@register_transport("dataspaces")
+class DataSpacesTransport(_BaseDataSpaces):
+    """Native DataSpaces: customised multi-slot lock strategy (lock_type=2)."""
+
+    name = "dataspaces"
+    num_slots = 4
+    interface_overhead = 0.0
+
+
+@register_transport("adios+dataspaces")
+class ADIOSDataSpacesTransport(_BaseDataSpaces):
+    """DataSpaces driven through the ADIOS uniform interface (lock_type=1)."""
+
+    name = "adios+dataspaces"
+    num_slots = 1
+    interface_overhead = 3.0e-2

@@ -1,0 +1,31 @@
+"""The no-coupling transport: simulation-only and analysis-only lower bounds."""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.transports.base import Transport, empty_generator
+from repro.transports.registry import register_transport
+
+__all__ = ["NullTransport"]
+
+
+@register_transport("none", "null")
+class NullTransport(Transport):
+    """Discard all output: used to measure the standalone simulation time.
+
+    The paper's "Simulation-only time is the time spent only by the simulation
+    program's computational kernels (excluding any I/O, idle time, and data
+    staging related cost). It works as a lower bound of the workflow
+    end-to-end time."  Running a workflow with this transport gives exactly
+    that lower bound; the analysis ranks finish immediately.
+    """
+
+    name = "none"
+
+    def producer_put(self, ctx, rank: int, step: int, nbytes: int) -> Generator:
+        ctx.stats["bytes_discarded"] += nbytes
+        return empty_generator()
+
+    def consumer_run(self, ctx, arank: int, analyze: Callable[[int, int], Generator]) -> Generator:
+        return empty_generator()

@@ -1,0 +1,63 @@
+"""Registry mapping transport names to their implementations."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.transports.base import Transport
+
+__all__ = ["register_transport", "create_transport", "available_transports"]
+
+_REGISTRY: Dict[str, Callable[..., Transport]] = {}
+
+#: Accepted aliases -> canonical registry names (the paper uses both the
+#: "ADIOS/<method>" and the "native <method>" phrasing).
+_ALIASES: Dict[str, str] = {
+    "adios/dataspaces": "adios+dataspaces",
+    "adios-dataspaces": "adios+dataspaces",
+    "native dataspaces": "dataspaces",
+    "native-dataspaces": "dataspaces",
+    "adios/dimes": "adios+dimes",
+    "adios-dimes": "adios+dimes",
+    "native dimes": "dimes",
+    "native-dimes": "dimes",
+    "adios/mpi-io": "mpiio",
+    "mpi-io": "mpiio",
+    "adios/flexpath": "flexpath",
+    "simulation-only": "none",
+    "sim-only": "none",
+}
+
+
+def register_transport(name: str, *extra_names: str):
+    """Class decorator registering a :class:`Transport` under one or more names."""
+
+    def decorator(cls: Type[Transport]) -> Type[Transport]:
+        for key in (name, *extra_names):
+            canonical = key.lower()
+            if canonical in _REGISTRY:
+                raise ValueError(f"transport {canonical!r} is already registered")
+            _REGISTRY[canonical] = cls
+        return cls
+
+    return decorator
+
+
+def canonical_name(name: str) -> str:
+    key = name.strip().lower()
+    return _ALIASES.get(key, key)
+
+
+def create_transport(name: str, **kwargs) -> Transport:
+    """Instantiate the transport registered under ``name`` (aliases accepted)."""
+    key = canonical_name(name)
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown transport {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_transports() -> List[str]:
+    """Sorted list of canonical transport names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,33 @@
+"""Simulated scientific workflows: a producer application coupled to an analysis.
+
+This package glues together the cluster substrate (:mod:`repro.cluster`), the
+simulated MPI layer (:mod:`repro.simmpi`), a workload cost model
+(:mod:`repro.apps.costs`) and an I/O transport (:mod:`repro.transports`) into
+one executable workflow run — the thing every figure in the paper's evaluation
+measures.
+
+The central entry point is :func:`run_workflow` (or the underlying
+:class:`WorkflowRunner`), which returns a :class:`WorkflowResult` containing
+the end-to-end time, per-stage breakdowns, stall/lock/barrier accounting,
+network counters and, when requested, a full trace.
+
+Large jobs are simulated with a *representative subset* of ranks
+(:class:`WorkflowConfig.representative_sim_ranks`); per-rank resource shares
+and collective costs are derived from the full job size so that weak-scaling
+behaviour (Figures 14–18) is preserved.
+"""
+
+from repro.workflow.config import WorkflowConfig
+from repro.workflow.context import WorkflowContext
+from repro.workflow.result import WorkflowResult, StageBreakdown
+from repro.workflow.runner import WorkflowRunner, run_workflow, simulation_only_time
+
+__all__ = [
+    "WorkflowConfig",
+    "WorkflowContext",
+    "WorkflowResult",
+    "StageBreakdown",
+    "WorkflowRunner",
+    "run_workflow",
+    "simulation_only_time",
+]

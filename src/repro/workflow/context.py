@@ -1,0 +1,154 @@
+"""Shared state handed to the transport implementations during a workflow run."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.cluster.machine import Cluster
+from repro.simmpi.comm import Communicator
+from repro.trace import Tracer
+from repro.workflow.config import WorkflowConfig
+
+__all__ = ["WorkflowContext"]
+
+
+class WorkflowContext:
+    """Everything a transport needs to move data between the coupled applications.
+
+    The context owns the modelled cluster, the communicators of the two
+    applications, the placement of ranks onto nodes, the producer-to-consumer
+    mapping, the tracer and the statistics dictionaries.  Transports are given
+    the context in every call and must not hold global state outside it, so
+    several workflow runs can coexist in one process.
+    """
+
+    def __init__(self, config: WorkflowConfig, cluster: Cluster, tracer: Tracer):
+        self.config = config
+        self.cluster = cluster
+        self.env = cluster.env
+        self.workload = config.workload
+        self.tracer = tracer
+        self.block_bytes = config.effective_block_bytes
+        self.steps = config.num_steps
+
+        self.sim_ranks = config.sim_ranks
+        self.analysis_ranks = config.analysis_ranks
+        self.total_sim_ranks = config.total_sim_ranks
+        self.total_analysis_ranks = config.total_analysis_ranks
+
+        rpn = config.ranks_per_modelled_node
+        self.sim_nodes = _ceil_div(self.sim_ranks, rpn)
+        self.analysis_nodes = _ceil_div(self.analysis_ranks, rpn)
+        self.staging_ranks = max(
+            0, (self.sim_ranks * config.staging_ranks_per_8_sim) // 8
+        )
+        if config.staging_ranks_per_8_sim > 0:
+            self.staging_ranks = max(1, self.staging_ranks)
+        self.staging_nodes = _ceil_div(self.staging_ranks, rpn) if self.staging_ranks else 0
+
+        self._sim_node_of: List[int] = [r // rpn for r in range(self.sim_ranks)]
+        self._analysis_node_of: List[int] = [
+            self.sim_nodes + r // rpn for r in range(self.analysis_ranks)
+        ]
+        self._staging_node_of: List[int] = [
+            self.sim_nodes + self.analysis_nodes + r // rpn
+            for r in range(self.staging_ranks)
+        ]
+
+        #: global aggregate statistics (bytes on each path, lock waits, ...)
+        self.stats: Dict[str, float] = defaultdict(float)
+        #: per simulation rank statistics (stall_time, transfer_busy_time, ...)
+        self.sim_rank_stats: Dict[int, Dict[str, float]] = {
+            r: defaultdict(float) for r in range(self.sim_ranks)
+        }
+        #: per analysis rank statistics
+        self.analysis_rank_stats: Dict[int, Dict[str, float]] = {
+            r: defaultdict(float) for r in range(self.analysis_ranks)
+        }
+
+        self.sim_comm = Communicator(
+            cluster,
+            [self._sim_node_of[r] for r in range(self.sim_ranks)],
+            represented_size=self.total_sim_ranks,
+            tracer=tracer,
+            name="simulation",
+        )
+        self.analysis_comm = Communicator(
+            cluster,
+            [self._analysis_node_of[r] for r in range(self.analysis_ranks)],
+            represented_size=self.total_analysis_ranks,
+            tracer=tracer,
+            name="analysis",
+        )
+
+    # -- placement ---------------------------------------------------------
+    @property
+    def total_nodes_modelled(self) -> int:
+        return self.sim_nodes + self.analysis_nodes + self.staging_nodes
+
+    def sim_node(self, rank: int) -> int:
+        """Modelled node hosting simulation rank ``rank``."""
+        return self._sim_node_of[rank]
+
+    def analysis_node(self, arank: int) -> int:
+        """Modelled node hosting analysis rank ``arank``."""
+        return self._analysis_node_of[arank]
+
+    def staging_node(self, srank: int) -> int:
+        """Modelled node hosting staging/server rank ``srank``."""
+        if not self._staging_node_of:
+            raise ValueError("this workflow has no staging ranks")
+        return self._staging_node_of[srank % len(self._staging_node_of)]
+
+    # -- producer/consumer mapping ------------------------------------------
+    def consumer_of(self, sim_rank: int) -> int:
+        """Analysis rank that consumes ``sim_rank``'s output."""
+        return sim_rank % self.analysis_ranks
+
+    def producers_of(self, arank: int) -> List[int]:
+        """Simulation ranks whose output ``arank`` analyses."""
+        return [r for r in range(self.sim_ranks) if self.consumer_of(r) == arank]
+
+    def staging_target_of(self, sim_rank: int) -> int:
+        """Staging rank that serves ``sim_rank`` (round-robin)."""
+        if self.staging_ranks == 0:
+            raise ValueError("this workflow has no staging ranks")
+        return sim_rank % self.staging_ranks
+
+    # -- per-step data volumes -------------------------------------------------
+    def step_output_bytes(self) -> int:
+        """Bytes one simulation rank emits per step."""
+        return self.workload.output_bytes_per_step
+
+    def blocks_per_step(self) -> int:
+        """Fine-grain blocks per simulation rank per step."""
+        return max(1, _ceil_div(self.step_output_bytes(), self.block_bytes))
+
+    def consumer_step_bytes(self, arank: int) -> int:
+        """Bytes analysis rank ``arank`` receives per step."""
+        return self.step_output_bytes() * len(self.producers_of(arank))
+
+    # -- tracing helpers ----------------------------------------------------
+    def trace_rank_of_analysis(self, arank: int) -> int:
+        """Trace-row id used for analysis ranks (placed after the sim ranks)."""
+        return self.sim_ranks + arank
+
+    def record_sim(self, rank: int, category: str, start: float, **meta) -> None:
+        """Record a span ending now on a simulation rank's trace row."""
+        self.tracer.record(rank, category, start, self.env.now, **meta)
+
+    def record_analysis(self, arank: int, category: str, start: float, **meta) -> None:
+        self.tracer.record(
+            self.trace_rank_of_analysis(arank), category, start, self.env.now, **meta
+        )
+
+    # -- scaling ------------------------------------------------------------
+    @property
+    def rank_scale_factor(self) -> float:
+        """How many real simulation ranks one modelled simulation rank stands for."""
+        return self.total_sim_ranks / self.sim_ranks
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

@@ -1,0 +1,104 @@
+"""Results of a simulated workflow run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.trace import Tracer
+
+__all__ = ["StageBreakdown", "WorkflowResult"]
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Per-rank average time spent in each pipeline stage (Figure 12/13 columns)."""
+
+    simulation: float
+    transfer: float
+    analysis: float
+    store: float = 0.0
+    stall: float = 0.0
+
+    def dominant(self) -> str:
+        """Name of the largest stage."""
+        stages = {
+            "simulation": self.simulation,
+            "transfer": self.transfer,
+            "analysis": self.analysis,
+            "store": self.store,
+        }
+        return max(stages, key=stages.get)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "simulation": self.simulation,
+            "transfer": self.transfer,
+            "analysis": self.analysis,
+            "store": self.store,
+            "stall": self.stall,
+        }
+
+
+@dataclass
+class WorkflowResult:
+    """Everything measured from one workflow run."""
+
+    transport: str
+    end_to_end_time: float
+    simulation_only_time: float
+    breakdown: StageBreakdown
+    #: Aggregate counters from the transport and the runner (bytes per path,
+    #: lock wait time, barrier time, blocks stolen, ...).
+    stats: Dict[str, float] = field(default_factory=dict)
+    #: Per-simulation-rank counters (stall_time, transfer_busy_time, ...).
+    sim_rank_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    analysis_rank_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: Sum of the XmitWait counter over all ports, scaled to the full job.
+    xmit_wait: float = 0.0
+    #: The full trace (``None`` when tracing was disabled).
+    tracer: Optional[Tracer] = None
+    #: Label copied from the config (used by sweep harnesses).
+    label: str = ""
+    total_cores: int = 0
+    block_bytes: int = 0
+    failed: bool = False
+    failure_reason: str = ""
+
+    @property
+    def slowdown_vs_simulation(self) -> float:
+        """End-to-end time relative to the simulation-only lower bound."""
+        if self.simulation_only_time <= 0:
+            return float("inf")
+        return self.end_to_end_time / self.simulation_only_time
+
+    def speedup_over(self, other: "WorkflowResult") -> float:
+        """How much faster this run is than ``other`` (>1 means faster)."""
+        if self.end_to_end_time <= 0:
+            return float("inf")
+        return other.end_to_end_time / self.end_to_end_time
+
+    @property
+    def stall_time(self) -> float:
+        """Average per-rank simulation stall time."""
+        return self.breakdown.stall
+
+    @property
+    def steal_fraction(self) -> float:
+        produced = self.stats.get("blocks_produced", 0.0)
+        if produced <= 0:
+            return 0.0
+        return self.stats.get("blocks_stolen", 0.0) / produced
+
+    def summary(self) -> str:
+        """One human-readable line, used by the benchmark harnesses."""
+        parts = [
+            f"{self.transport:<18s}",
+            f"cores={self.total_cores:<6d}",
+            f"t2s={self.end_to_end_time:8.2f}s",
+            f"sim-only={self.simulation_only_time:8.2f}s",
+            f"x{self.slowdown_vs_simulation:5.2f}",
+        ]
+        if self.failed:
+            parts.append(f"FAILED({self.failure_reason})")
+        return "  ".join(parts)

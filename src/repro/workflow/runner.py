@@ -1,0 +1,251 @@
+"""Execute one simulated workflow and collect its results."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Generator, List, Optional
+
+from repro.cluster.machine import Cluster
+from repro.cluster.spec import ClusterSpec
+from repro.simcore import AllOf
+from repro.trace import Tracer
+from repro.transports.base import Transport, TransportFault
+from repro.transports.registry import create_transport
+from repro.workflow.config import WorkflowConfig
+from repro.workflow.context import WorkflowContext
+from repro.workflow.result import StageBreakdown, WorkflowResult
+
+__all__ = ["WorkflowRunner", "run_workflow", "simulation_only_time"]
+
+
+def simulation_only_time(config: WorkflowConfig) -> float:
+    """Analytic simulation-only lower bound (compute kernels on the target cores)."""
+    per_step = config.workload.sim_step_seconds_for_block(config.effective_block_bytes)
+    return per_step * config.num_steps / config.cluster.node.core_speed
+
+
+class WorkflowRunner:
+    """Builds the modelled cluster, spawns all rank processes, runs the simulation."""
+
+    def __init__(self, config: WorkflowConfig, transport: Optional[Transport] = None):
+        self.config = config
+        self.transport = transport if transport is not None else self._make_transport()
+        self.tracer = Tracer(enabled=config.trace)
+        self.cluster = self._build_cluster()
+        self.ctx = WorkflowContext(config, self.cluster, self.tracer)
+        self._apply_underfill_correction()
+
+    # -- construction -------------------------------------------------------
+    def _make_transport(self) -> Transport:
+        return create_transport(self.config.transport)
+
+    def _scaled_cluster_spec(self) -> ClusterSpec:
+        """Scale per-node and file-system bandwidth to the modelled fraction.
+
+        Each modelled node hosts ``ranks_per_modelled_node`` ranks but stands
+        for a full node of ``cores`` ranks, so it is entitled to that fraction
+        of a real node's NIC; likewise the modelled ranks are entitled to
+        their fraction of the shared file system's aggregate bandwidth.
+        """
+        cfg = self.config
+        spec = cfg.cluster
+        node_fraction = cfg.ranks_per_modelled_node / spec.node.cores
+        modelled_ranks = cfg.sim_ranks + cfg.analysis_ranks
+        total_ranks = cfg.total_sim_ranks + cfg.total_analysis_ranks
+        job_fraction = min(1.0, modelled_ranks / total_ranks)
+        network = replace(
+            spec.network,
+            link_bandwidth=spec.network.link_bandwidth * node_fraction,
+            core_link_bandwidth=spec.network.core_link_bandwidth * node_fraction,
+        )
+        filesystem = replace(
+            spec.filesystem,
+            job_share=job_fraction,
+            client_node_bandwidth=spec.filesystem.client_node_bandwidth * node_fraction,
+        )
+        return replace(spec, network=network, filesystem=filesystem, max_nodes=None)
+
+    def _build_cluster(self) -> Cluster:
+        cfg = self.config
+        rpn = cfg.ranks_per_modelled_node
+        sim_nodes = -(-cfg.sim_ranks // rpn)
+        analysis_nodes = -(-cfg.analysis_ranks // rpn)
+        staging_ranks = (cfg.sim_ranks * cfg.staging_ranks_per_8_sim) // 8
+        if cfg.staging_ranks_per_8_sim > 0:
+            staging_ranks = max(1, staging_ranks)
+        staging_nodes = -(-staging_ranks // rpn) if staging_ranks else 0
+        num_nodes = sim_nodes + analysis_nodes + staging_nodes
+        # Nodes of the full represented job (for the fabric's scale effects).
+        total_ranks = cfg.total_sim_ranks + cfg.total_analysis_ranks
+        total_nodes = max(num_nodes, -(-total_ranks // cfg.cluster.node.cores))
+        return Cluster(
+            self._scaled_cluster_spec(),
+            num_nodes=num_nodes,
+            total_nodes=total_nodes,
+            deterministic=cfg.deterministic,
+            seed=cfg.seed,
+        )
+
+    def _apply_underfill_correction(self) -> None:
+        """Shrink the NIC share of modelled nodes that host fewer ranks than assumed.
+
+        The cluster spec was scaled for ``ranks_per_modelled_node`` ranks per
+        node; nodes that actually host fewer modelled ranks (typically the
+        staging/link nodes, which may host a single rank) get their port
+        bandwidth reduced proportionally so per-rank shares stay faithful.
+        """
+        ctx = self.ctx
+        rpn = self.config.ranks_per_modelled_node
+        ranks_on_node: Dict[int, int] = {}
+        for rank in range(ctx.sim_ranks):
+            ranks_on_node[ctx.sim_node(rank)] = ranks_on_node.get(ctx.sim_node(rank), 0) + 1
+        for arank in range(ctx.analysis_ranks):
+            node = ctx.analysis_node(arank)
+            ranks_on_node[node] = ranks_on_node.get(node, 0) + 1
+        for srank in range(ctx.staging_ranks):
+            node = ctx.staging_node(srank)
+            ranks_on_node[node] = ranks_on_node.get(node, 0) + 1
+        for node, count in ranks_on_node.items():
+            if count < rpn:
+                ctx.cluster.network.scale_node_bandwidth(node, count / rpn)
+
+    # -- rank processes ----------------------------------------------------------
+    def _sim_rank_process(self, rank: int) -> Generator:
+        ctx = self.ctx
+        cfg = self.config
+        workload = ctx.workload
+        node = ctx.cluster.node(ctx.sim_node(rank))
+        env = ctx.env
+        step_seconds = workload.sim_step_seconds_for_block(ctx.block_bytes)
+        left, right = (
+            (rank - 1) % ctx.sim_ranks,
+            (rank + 1) % ctx.sim_ranks,
+        )
+        for step in range(ctx.steps):
+            step_start = env.now
+            compute_this_step = 0.0
+            for phase, fraction in workload.phase_fractions.items():
+                phase_start = env.now
+                yield from node.compute(step_seconds * fraction)
+                compute_this_step += env.now - phase_start
+                ctx.record_sim(rank, phase, phase_start, step=step)
+                if (
+                    phase == "streaming"
+                    and workload.halo_bytes > 0
+                    and workload.halo_neighbors > 0
+                    and ctx.sim_ranks > 1
+                ):
+                    yield from ctx.sim_comm.sendrecv(
+                        rank, right, workload.halo_bytes, left
+                    )
+                    if workload.halo_neighbors > 1:
+                        yield from ctx.sim_comm.sendrecv(
+                            rank, left, workload.halo_bytes, right
+                        )
+            ctx.sim_rank_stats[rank]["compute_time"] += compute_this_step
+            put_start = env.now
+            yield from self.transport.producer_put(
+                ctx, rank, step, workload.output_bytes_per_step
+            )
+            ctx.record_sim(rank, "put", put_start, step=step)
+            ctx.sim_rank_stats[rank]["put_time"] += env.now - put_start
+            ctx.record_sim(rank, "step", step_start, step=step)
+        yield from self.transport.producer_finalize(ctx, rank)
+        ctx.sim_rank_stats[rank]["finish_time"] = env.now
+
+    def _analysis_rank_process(self, arank: int) -> Generator:
+        ctx = self.ctx
+        workload = ctx.workload
+        node = ctx.cluster.node(ctx.analysis_node(arank))
+        env = ctx.env
+
+        def analyze(nbytes: int, step: int) -> Generator:
+            start = env.now
+            yield from node.compute(workload.analysis_seconds_per_byte * nbytes)
+            ctx.record_analysis(arank, "analysis", start, step=step, nbytes=nbytes)
+            ctx.analysis_rank_stats[arank]["analysis_time"] += env.now - start
+
+        yield from self.transport.consumer_run(ctx, arank, analyze)
+        ctx.analysis_rank_stats[arank]["finish_time"] = env.now
+
+    # -- execution --------------------------------------------------------------
+    def run(self) -> WorkflowResult:
+        ctx = self.ctx
+        cfg = self.config
+        env = ctx.env
+        failed = False
+        failure_reason = ""
+        try:
+            self.transport.setup(ctx)
+            processes = [
+                env.process(self._sim_rank_process(r)) for r in range(ctx.sim_ranks)
+            ]
+            processes += [
+                env.process(self._analysis_rank_process(a))
+                for a in range(ctx.analysis_ranks)
+            ]
+            env.run(until=AllOf(env, processes))
+            end_to_end = max(
+                [s.get("finish_time", 0.0) for s in ctx.sim_rank_stats.values()]
+                + [s.get("finish_time", 0.0) for s in ctx.analysis_rank_stats.values()]
+            )
+        except TransportFault as fault:
+            failed = True
+            failure_reason = fault.reason
+            end_to_end = float("nan")
+        finally:
+            self.transport.teardown(ctx)
+        ctx.cluster.counters.query(env.now)
+
+        breakdown = self._breakdown()
+        stats = dict(ctx.stats)
+        stats["events_processed"] = env.events_processed
+        xmit_wait = ctx.cluster.counters.total("XmitWait") * ctx.rank_scale_factor
+        return WorkflowResult(
+            transport=self.transport.name,
+            end_to_end_time=end_to_end,
+            simulation_only_time=simulation_only_time(cfg),
+            breakdown=breakdown,
+            stats=stats,
+            sim_rank_stats={k: dict(v) for k, v in ctx.sim_rank_stats.items()},
+            analysis_rank_stats={k: dict(v) for k, v in ctx.analysis_rank_stats.items()},
+            xmit_wait=xmit_wait,
+            tracer=self.tracer if cfg.trace else None,
+            label=cfg.label,
+            total_cores=cfg.total_cores,
+            block_bytes=ctx.block_bytes,
+            failed=failed,
+            failure_reason=failure_reason,
+        )
+
+    def _breakdown(self) -> StageBreakdown:
+        ctx = self.ctx
+        sim = _mean(s.get("compute_time", 0.0) for s in ctx.sim_rank_stats.values())
+        stall = _mean(s.get("stall_time", 0.0) for s in ctx.sim_rank_stats.values())
+        transfer = _mean(
+            s.get("transfer_busy_time", 0.0) + s.get("io_write_time", 0.0)
+            for s in ctx.sim_rank_stats.values()
+        )
+        analysis = _mean(
+            s.get("analysis_time", 0.0) for s in ctx.analysis_rank_stats.values()
+        )
+        store = _mean(
+            s.get("writer_busy_time", 0.0) for s in ctx.sim_rank_stats.values()
+        ) + _mean(
+            s.get("output_busy_time", 0.0) for s in ctx.analysis_rank_stats.values()
+        )
+        return StageBreakdown(
+            simulation=sim, transfer=transfer, analysis=analysis, store=store, stall=stall
+        )
+
+
+def _mean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def run_workflow(config: WorkflowConfig, transport: Optional[Transport] = None) -> WorkflowResult:
+    """Convenience wrapper: build a :class:`WorkflowRunner` and run it."""
+    return WorkflowRunner(config, transport).run()

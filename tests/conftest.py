@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.costs import cfd_workload, synthetic_workload
+from repro.cluster import Cluster
+from repro.cluster.presets import bridges, laptop, stampede2
+from repro.simcore import Environment
+from repro.workflow import WorkflowConfig
+
+MiB = 1024 * 1024
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def laptop_cluster():
+    """A small, fully deterministic cluster."""
+    return Cluster(laptop(), num_nodes=4)
+
+
+@pytest.fixture
+def bridges_spec():
+    return bridges()
+
+
+@pytest.fixture
+def stampede2_spec():
+    return stampede2()
+
+
+@pytest.fixture
+def small_cfd_config(bridges_spec):
+    """A quick CFD workflow configuration (8 modelled sim ranks, 6 steps)."""
+    return WorkflowConfig(
+        workload=cfd_workload(steps=6),
+        cluster=bridges_spec,
+        transport="zipper",
+        total_cores=384,
+        representative_sim_ranks=8,
+        steps=6,
+    )
+
+
+@pytest.fixture
+def small_synthetic_config(bridges_spec):
+    """A quick transfer-bound synthetic workflow configuration."""
+    workload = synthetic_workload("O(n)", 1 * MiB, data_per_rank=32 * MiB)
+    return WorkflowConfig(
+        workload=workload,
+        cluster=bridges_spec,
+        transport="zipper",
+        total_cores=588,
+        representative_sim_ranks=4,
+        representative_analysis_ranks=2,
+        # A small producer buffer so the transfer-bound producer actually
+        # fills it and the work-stealing writer engages in the quick tests.
+        producer_buffer_blocks=8,
+        high_water_mark=6,
+    )

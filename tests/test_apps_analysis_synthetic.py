@@ -1,0 +1,236 @@
+"""Tests for the analysis kernels, the synthetic producers and the cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    MeanSquaredDisplacement,
+    StreamingMoments,
+    SyntheticProducer,
+    cfd_workload,
+    lammps_workload,
+    nth_moment,
+    standard_variance,
+    synthetic_workload,
+    velocity_moments,
+)
+from repro.apps.analysis.msd import mean_squared_displacement
+from repro.apps.costs import GiB, MiB
+from repro.apps.synthetic import canonical_complexity, complexity_units
+
+
+class TestMoments:
+    def test_nth_moment_known_values(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        assert nth_moment(data, 1) == pytest.approx(2.5)
+        assert nth_moment(data, 2) == pytest.approx(7.5)
+        assert nth_moment(data, 2, central=True) == pytest.approx(np.var(data))
+
+    def test_standard_variance_matches_numpy(self):
+        data = np.random.default_rng(0).standard_normal(1000)
+        assert standard_variance(data) == pytest.approx(float(np.var(data)))
+
+    def test_velocity_moments_orders(self):
+        moments = velocity_moments(np.arange(10.0), max_order=4)
+        assert set(moments) == {1, 2, 3, 4}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nth_moment(np.array([]), 2)
+        with pytest.raises(ValueError):
+            nth_moment(np.arange(3.0), -1)
+        with pytest.raises(ValueError):
+            standard_variance(np.array([]))
+        with pytest.raises(ValueError):
+            velocity_moments(np.arange(3.0), max_order=0)
+
+
+class TestStreamingMoments:
+    def test_streaming_equals_batch(self):
+        rng = np.random.default_rng(1)
+        blocks = [rng.standard_normal(100) for _ in range(7)]
+        sm = StreamingMoments(max_order=4)
+        for b in blocks:
+            sm.update(b)
+        full = np.concatenate(blocks)
+        for n in range(1, 5):
+            assert sm.moment(n) == pytest.approx(nth_moment(full, n), rel=1e-10)
+        assert sm.variance == pytest.approx(float(np.var(full)), rel=1e-9)
+
+    def test_empty_update_is_noop(self):
+        sm = StreamingMoments()
+        sm.update(np.array([]))
+        assert sm.count == 0
+
+    def test_requires_data_for_moments(self):
+        with pytest.raises(ValueError):
+            StreamingMoments().moment(1)
+
+    def test_order_bounds(self):
+        sm = StreamingMoments(max_order=2)
+        sm.update(np.arange(4.0))
+        with pytest.raises(ValueError):
+            sm.moment(3)
+        with pytest.raises(ValueError):
+            StreamingMoments(max_order=0)
+
+    @given(
+        st.lists(
+            st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_equivalent_to_sequential(self, blocks):
+        """The reduction is associative: merging per-rank accumulators equals one pass."""
+        blocks = [np.asarray(b) for b in blocks]
+        sequential = StreamingMoments(max_order=3)
+        for b in blocks:
+            sequential.update(b)
+        halves = [StreamingMoments(max_order=3), StreamingMoments(max_order=3)]
+        for i, b in enumerate(blocks):
+            halves[i % 2].update(b)
+        merged = StreamingMoments.merge_all(halves)
+        assert merged.count == sequential.count
+        for n in range(1, 4):
+            assert merged.moment(n) == pytest.approx(sequential.moment(n), rel=1e-9, abs=1e-9)
+
+    def test_merge_order_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingMoments(2).merge(StreamingMoments(3))
+        with pytest.raises(ValueError):
+            StreamingMoments.merge_all([])
+
+
+class TestMSD:
+    def test_zero_displacement(self):
+        ref = np.random.default_rng(0).random((20, 3))
+        assert mean_squared_displacement(ref, ref) == pytest.approx(0.0)
+
+    def test_known_displacement(self):
+        ref = np.zeros((4, 3))
+        pos = np.full((4, 3), 2.0)
+        assert mean_squared_displacement(pos, ref) == pytest.approx(12.0)
+
+    def test_minimum_image_wrapping(self):
+        ref = np.zeros((1, 3))
+        pos = np.array([[9.5, 0.0, 0.0]])
+        assert mean_squared_displacement(pos, ref, box_length=10.0) == pytest.approx(0.25)
+
+    def test_streaming_blocks_and_curve(self):
+        rng = np.random.default_rng(2)
+        ref = rng.random((30, 3)) * 5
+        msd = MeanSquaredDisplacement(ref, box_length=5.0)
+        for step, scale in enumerate((0.0, 0.1, 0.2)):
+            pos = (ref + scale) % 5.0
+            msd.update(step, pos[:15], offset=0)
+            msd.update(step, pos[15:], offset=15)
+        curve = msd.curve()
+        assert list(curve) == [0, 1, 2]
+        assert curve[0] == pytest.approx(0.0)
+        assert msd.is_monotonic()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_squared_displacement(np.zeros((3, 3)), np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            mean_squared_displacement(np.zeros((3, 5)), np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            mean_squared_displacement(np.zeros((3, 3)), np.zeros((3, 3)), box_length=0)
+        msd = MeanSquaredDisplacement(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            msd.update(0, np.zeros((4, 3)), offset=3)
+
+
+class TestSyntheticProducers:
+    def test_canonical_names(self):
+        assert canonical_complexity("o(n)") == "O(n)"
+        assert canonical_complexity("nlogn") == "O(nlogn)"
+        assert canonical_complexity("O(n3/2)") == "O(n^1.5)"
+        with pytest.raises(ValueError):
+            canonical_complexity("O(n^2)")
+
+    def test_complexity_units_ordering(self):
+        n = 4096
+        assert complexity_units("O(n)", n) < complexity_units("O(nlogn)", n) < complexity_units("O(n^1.5)", n)
+        assert complexity_units("O(n)", 0) == 0.0
+        with pytest.raises(ValueError):
+            complexity_units("O(n)", -1)
+
+    @pytest.mark.parametrize("complexity", ["O(n)", "O(nlogn)", "O(n^1.5)"])
+    def test_produce_block_shape_and_determinism(self, complexity):
+        a = SyntheticProducer(complexity, elements=1024, seed=5).produce_block(3)
+        b = SyntheticProducer(complexity, elements=1024, seed=5).produce_block(3)
+        assert a.shape == (1024,)
+        np.testing.assert_array_equal(a, b)
+
+    def test_blocks_iterator(self):
+        producer = SyntheticProducer("O(n)", elements=64)
+        items = list(producer.blocks(steps=2, blocks_per_step=3))
+        assert len(items) == 6
+        assert items[0][:2] == (0, 0) and items[-1][:2] == (1, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticProducer("O(n)", elements=0)
+        with pytest.raises(ValueError):
+            list(SyntheticProducer("O(n)", elements=8).blocks(steps=0))
+
+
+class TestWorkloadModels:
+    def test_cfd_workload_matches_table1(self):
+        w = cfd_workload()
+        assert w.steps == 100
+        assert w.output_bytes_per_step == 16 * MiB
+        assert w.simulation_only_seconds() == pytest.approx(39.2)
+        # 256 ranks x 100 steps x 16 MiB = 400 GiB moved, as in Table 1.
+        assert w.total_output_bytes(256) == 256 * 100 * 16 * MiB
+
+    def test_lammps_workload(self):
+        w = lammps_workload()
+        assert w.output_bytes_per_step == 20 * 1000 * 1000
+        assert w.element_bytes == 24
+
+    def test_synthetic_calibration(self):
+        for complexity, expected in (("O(n)", 2.1), ("O(nlogn)", 22.2), ("O(n^1.5)", 64.0)):
+            w = synthetic_workload(complexity, 1 * MiB, data_per_rank=2 * GiB)
+            assert w.sim_step_seconds * w.steps == pytest.approx(expected, rel=1e-6)
+
+    def test_synthetic_block_exponent_increases_large_block_cost(self):
+        small = synthetic_workload("O(n^1.5)", 1 * MiB, data_per_rank=2 * GiB)
+        large = synthetic_workload("O(n^1.5)", 8 * MiB, data_per_rank=2 * GiB)
+        assert large.sim_step_seconds * large.steps > small.sim_step_seconds * small.steps
+
+    def test_sim_block_seconds_partition_step(self):
+        w = cfd_workload()
+        per_block = w.sim_block_seconds(1 * MiB)
+        assert per_block * 16 == pytest.approx(w.sim_step_seconds)
+
+    def test_analysis_costs(self):
+        w = cfd_workload()
+        assert w.analysis_block_seconds(1 * MiB) > 0
+        assert w.analysis_step_seconds(0) == 0.0
+        with pytest.raises(ValueError):
+            w.analysis_step_seconds(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_workload("O(n)", 0)
+        with pytest.raises(ValueError):
+            synthetic_workload("O(n)", 2 * MiB, data_per_rank=1 * MiB)
+        with pytest.raises(ValueError):
+            cfd_workload(steps=0)
+        w = cfd_workload()
+        with pytest.raises(ValueError):
+            w.sim_step_seconds_for_block(0)
+        with pytest.raises(ValueError):
+            w.total_output_bytes(0)
+
+    def test_replace(self):
+        w = cfd_workload().replace(steps=5)
+        assert w.steps == 5

@@ -1,0 +1,156 @@
+"""Physics and interface tests for the lattice-Boltzmann proxy application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.lbm import (
+    DomainDecomposition,
+    LatticeBoltzmannD2Q9,
+    channel_flow,
+    poiseuille_profile,
+)
+
+
+class TestLatticeBoltzmann:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatticeBoltzmannD2Q9(2, 2)
+        with pytest.raises(ValueError):
+            LatticeBoltzmannD2Q9(16, 16, tau=0.5)
+        with pytest.raises(ValueError):
+            LatticeBoltzmannD2Q9(16, 16, body_force=-1)
+
+    def test_mass_conservation(self):
+        solver = LatticeBoltzmannD2Q9(16, 16, body_force=0.0)
+        m0 = solver.total_mass()
+        solver.run(50)
+        assert solver.total_mass() == pytest.approx(m0, rel=1e-12)
+
+    def test_no_force_stays_at_rest(self):
+        solver = LatticeBoltzmannD2Q9(12, 12, body_force=0.0)
+        state = solver.run(20)
+        assert np.abs(state.velocity_x).max() < 1e-12
+        assert np.abs(state.velocity_y).max() < 1e-12
+
+    def test_flow_develops_along_force(self):
+        solver = LatticeBoltzmannD2Q9(16, 16, body_force=1e-5)
+        state = solver.run(200)
+        ux, uy = solver.mean_velocity()
+        assert ux > 0
+        assert abs(uy) < 1e-6
+        assert state.speed.max() > 0
+
+    def test_converges_to_poiseuille_profile(self):
+        solver = LatticeBoltzmannD2Q9(8, 32, tau=0.9, body_force=1e-5)
+        state = solver.run(3000)
+        profile = state.velocity_x.mean(axis=0)
+        analytic = poiseuille_profile(32, 1e-5, solver.viscosity)
+        error = np.abs(profile[1:-1] - analytic[1:-1]).max() / analytic.max()
+        assert error < 0.08
+        # No-slip walls carry (almost) no velocity.
+        assert abs(profile[0]) < 0.05 * analytic.max()
+
+    def test_profile_symmetry(self):
+        solver = LatticeBoltzmannD2Q9(8, 24, tau=0.8, body_force=2e-5)
+        profile = solver.run(1500).velocity_x.mean(axis=0)
+        assert np.allclose(profile[1:-1], profile[1:-1][::-1], rtol=0.05, atol=1e-6)
+
+    def test_step_counter_and_state_bytes(self):
+        solver = LatticeBoltzmannD2Q9(8, 8)
+        state = solver.step()
+        assert solver.step_count == 1
+        assert state.field_bytes() == 3 * 8 * 8 * 8
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError):
+            LatticeBoltzmannD2Q9(8, 8).run(0)
+
+    def test_equilibrium_preserves_density(self):
+        rho = np.full((4, 4), 1.3)
+        ux = np.full((4, 4), 0.05)
+        uy = np.zeros((4, 4))
+        feq = LatticeBoltzmannD2Q9.equilibrium(rho, ux, uy)
+        np.testing.assert_allclose(feq.sum(axis=0), rho, rtol=1e-12)
+
+
+class TestPoiseuilleProfile:
+    def test_peak_in_the_middle(self):
+        profile = poiseuille_profile(34, 1e-5, 0.1)
+        assert np.argmax(profile) in (16, 17)
+        assert profile[0] == 0.0 and profile[-1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poiseuille_profile(2, 1e-5, 0.1)
+        with pytest.raises(ValueError):
+            poiseuille_profile(16, 1e-5, 0.0)
+
+
+class TestDomainDecomposition:
+    def test_covers_domain_exactly(self):
+        dd = DomainDecomposition(nx_global=100, ny=8, ranks=7)
+        subs = dd.subdomains()
+        assert sum(s.nx for s in subs) == 100
+        assert subs[0].x_start == 0 and subs[-1].x_end == 100
+        # Contiguous, non-overlapping slabs.
+        for a, b in zip(subs, subs[1:]):
+            assert a.x_end == b.x_start
+
+    def test_matches_paper_subgrid_sizes(self):
+        # 16384 columns over 256 ranks -> 64 columns each (Table 1).
+        dd = DomainDecomposition(nx_global=16384, ny=64, ranks=256)
+        assert all(s.nx == 64 for s in dd.subdomains())
+
+    def test_neighbors_periodic(self):
+        dd = DomainDecomposition(nx_global=10, ny=4, ranks=5)
+        assert dd.neighbors(0) == (4, 1)
+        assert dd.neighbors(4) == (3, 0)
+
+    def test_gather_roundtrip(self):
+        dd = DomainDecomposition(nx_global=12, ny=3, ranks=4)
+        pieces = [np.full((dd.subdomain(r).nx, 3), r, dtype=float) for r in range(4)]
+        gathered = dd.gather(pieces)
+        assert gathered.shape == (12, 3)
+        assert gathered[0, 0] == 0 and gathered[-1, 0] == 3
+
+    def test_gather_shape_mismatch_rejected(self):
+        dd = DomainDecomposition(nx_global=12, ny=3, ranks=4)
+        with pytest.raises(ValueError):
+            dd.gather([np.zeros((1, 3))] * 4)
+        with pytest.raises(ValueError):
+            dd.gather([np.zeros((3, 3))] * 3)
+
+    def test_bytes_accounting(self):
+        dd = DomainDecomposition(nx_global=64, ny=16, ranks=4)
+        sub = dd.subdomain(0)
+        assert sub.field_bytes() == 16 * 16 * 3 * 8
+        assert sub.halo_bytes() == 16 * 9 * 8
+        assert dd.total_output_bytes() == 64 * 16 * 3 * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DomainDecomposition(4, 4, 0)
+        with pytest.raises(ValueError):
+            DomainDecomposition(2, 4, 3)
+        with pytest.raises(ValueError):
+            DomainDecomposition(8, 4, 2).subdomain(5)
+
+
+class TestChannelFlowDriver:
+    def test_yields_requested_outputs(self):
+        states = list(channel_flow(nx=16, ny=8, steps=10, output_every=2))
+        assert len(states) == 5
+        assert states[-1].step == 9
+
+    def test_on_step_callback(self):
+        seen = []
+        list(channel_flow(nx=8, ny=8, steps=3, on_step=lambda s: seen.append(s.step)))
+        assert seen == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(channel_flow(steps=0))
+        with pytest.raises(ValueError):
+            list(channel_flow(steps=5, output_every=0))

@@ -1,0 +1,109 @@
+"""Physics tests for the Lennard-Jones molecular-dynamics proxy (the LAMMPS workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.md import LennardJonesMD, fcc_lattice
+
+
+class TestFccLattice:
+    def test_atom_count_and_box(self):
+        positions, box = fcc_lattice(3, density=0.8442)
+        assert positions.shape == (108, 3)
+        assert box == pytest.approx((108 / 0.8442) ** (1 / 3))
+        assert positions.min() >= 0.0 and positions.max() < box
+
+    def test_minimum_separation_reasonable(self):
+        positions, box = fcc_lattice(2)
+        delta = positions[:, None, :] - positions[None, :, :]
+        delta -= box * np.round(delta / box)
+        dist = np.sqrt((delta**2).sum(-1))
+        np.fill_diagonal(dist, np.inf)
+        assert dist.min() > 0.7  # nearest-neighbour spacing of the melt lattice
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fcc_lattice(0)
+        with pytest.raises(ValueError):
+            fcc_lattice(2, density=0.0)
+
+
+class TestLennardJonesMD:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LennardJonesMD(temperature=-1)
+        with pytest.raises(ValueError):
+            LennardJonesMD(dt=0)
+        with pytest.raises(ValueError):
+            LennardJonesMD(cutoff=0)
+
+    def test_initial_momentum_is_zero(self):
+        md = LennardJonesMD(cells_per_side=2, temperature=1.44)
+        assert np.abs(md.total_momentum()).max() < 1e-10
+
+    def test_momentum_conserved(self):
+        md = LennardJonesMD(cells_per_side=2, temperature=1.0, dt=0.004)
+        md.run(30)
+        assert np.abs(md.total_momentum()).max() < 1e-9
+
+    def test_energy_approximately_conserved(self):
+        md = LennardJonesMD(cells_per_side=2, temperature=1.0, dt=0.002)
+        e0 = md.total_energy()
+        md.run(60)
+        drift = abs(md.total_energy() - e0) / abs(e0)
+        assert drift < 5e-3
+
+    def test_zero_temperature_lattice_stays_put(self):
+        md = LennardJonesMD(cells_per_side=2, temperature=0.0, dt=0.002)
+        md.run(10)
+        assert md.msd_from_start() < 1e-6
+
+    def test_hot_system_melts(self):
+        md = LennardJonesMD(cells_per_side=2, temperature=2.5, dt=0.004)
+        md.run(80)
+        assert md.msd_from_start() > 0.01
+
+    def test_state_contents(self):
+        md = LennardJonesMD(cells_per_side=2, temperature=1.44)
+        state = md.step()
+        assert state.step == 1
+        assert state.positions.shape == (md.n_atoms, 3)
+        assert state.kinetic_energy > 0
+        assert state.temperature > 0
+        assert state.total_energy == pytest.approx(state.kinetic_energy + state.potential_energy)
+        assert state.output_bytes() == md.n_atoms * 3 * 8
+
+    def test_positions_stay_in_box(self):
+        md = LennardJonesMD(cells_per_side=2, temperature=1.44, dt=0.004)
+        state = md.run(40)
+        assert state.positions.min() >= 0.0
+        assert state.positions.max() <= md.box_length
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError):
+            LennardJonesMD(cells_per_side=2).run(0)
+
+    def test_cell_list_matches_all_pairs(self):
+        """Forces from the cell-list path agree with a brute-force evaluation."""
+        md = LennardJonesMD(cells_per_side=3, temperature=1.0, dt=0.004, seed=3)
+        forces_cell, pot_cell = md._compute_forces()
+
+        # Brute force with the same cutoff and shift.
+        pos, box, rc = md.positions, md.box_length, md.cutoff
+        delta = pos[:, None, :] - pos[None, :, :]
+        delta -= box * np.round(delta / box)
+        r2 = (delta**2).sum(-1)
+        np.fill_diagonal(r2, np.inf)
+        mask = r2 < rc * rc
+        inv_r2 = np.where(mask, 1.0 / r2, 0.0)
+        inv_r6 = inv_r2**3
+        inv_c6 = 1.0 / rc**6
+        shift = 4.0 * (inv_c6 * inv_c6 - inv_c6)
+        pot_brute = 0.5 * np.sum(np.where(mask, 4.0 * (inv_r6**2 - inv_r6) - shift, 0.0))
+        fmag = (48.0 * inv_r6**2 - 24.0 * inv_r6) * inv_r2
+        forces_brute = np.einsum("ij,ijk->ik", fmag, delta)
+
+        assert pot_cell == pytest.approx(pot_brute, rel=1e-9)
+        np.testing.assert_allclose(forces_cell, forces_brute, rtol=1e-8, atol=1e-9)

@@ -1,0 +1,39 @@
+"""Tests for the benchmark report formatting utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import breakdown_row, format_series, format_table
+from repro.workflow.result import StageBreakdown
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert lines[2].startswith("----")
+        assert "1.50" in lines[3] and "bb" in lines[4]
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_rendering(self):
+        text = format_series("zipper", {204: 41.0, 13056: 42.5})
+        assert text.startswith("zipper:")
+        assert "204: 41.00s" in text and "13056: 42.50s" in text
+
+
+class TestBreakdownRow:
+    def test_row_contents(self):
+        row = breakdown_row("x", StageBreakdown(1.234, 2.345, 3.456, 0.5, 0.1))
+        assert row == ["x", 1.23, 2.35, 0.5, 3.46, 0.1]

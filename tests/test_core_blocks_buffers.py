@@ -1,0 +1,212 @@
+"""Unit and property tests for data blocks, configuration and buffers."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BlockId,
+    BufferClosed,
+    ConsumerBuffer,
+    DataBlock,
+    ProducerBuffer,
+    ZipperConfig,
+)
+
+
+class TestBlockId:
+    def test_identity_and_filename(self):
+        bid = BlockId(step=3, source_rank=7, block_index=1, offset=4096)
+        assert bid.key == (3, 7, 1)
+        name = bid.filename()
+        assert "s000003" in name and "r00007" in name and "b00001" in name
+
+    def test_ordering(self):
+        assert BlockId(0, 0, 0) < BlockId(0, 0, 1) < BlockId(1, 0, 0)
+
+    @pytest.mark.parametrize("kwargs", [{"step": -1}, {"source_rank": -1}, {"block_index": -1}])
+    def test_validation(self, kwargs):
+        base = {"step": 0, "source_rank": 0, "block_index": 0}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            BlockId(**base)
+
+
+class TestDataBlock:
+    def test_nbytes(self):
+        block = DataBlock(BlockId(0, 0, 0), np.zeros(100, dtype=np.float64))
+        assert block.nbytes == 800
+
+    def test_coerces_to_ndarray(self):
+        block = DataBlock(BlockId(0, 0, 0), [1.0, 2.0, 3.0])
+        assert isinstance(block.data, np.ndarray)
+
+    def test_with_data(self):
+        block = DataBlock(BlockId(0, 0, 0), np.zeros(4), meta={"field": "u"})
+        replaced = block.with_data(np.ones(4), on_disk=True)
+        assert replaced.on_disk and replaced.meta == {"field": "u"}
+        assert not block.on_disk
+
+
+class TestZipperConfig:
+    def test_defaults_valid(self):
+        cfg = ZipperConfig()
+        assert not cfg.preserve
+        assert cfg.high_water_mark <= cfg.producer_buffer_blocks
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"block_size": 0},
+            {"producer_buffer_blocks": 0},
+            {"high_water_mark": 100, "producer_buffer_blocks": 10},
+            {"consumer_buffer_blocks": 0},
+            {"mode": "bogus"},
+            {"network_bandwidth": -1.0},
+            {"network_latency": -0.1},
+            {"num_producers": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ZipperConfig(**kwargs)
+
+    def test_replace(self):
+        cfg = ZipperConfig().replace(mode="preserve")
+        assert cfg.preserve
+
+
+def make_block(i: int, step: int = 0) -> DataBlock:
+    return DataBlock(BlockId(step, 0, i), np.zeros(16))
+
+
+class TestProducerBuffer:
+    def test_put_take_fifo(self):
+        buf = ProducerBuffer(capacity=4, high_water_mark=2)
+        for i in range(3):
+            buf.put(make_block(i))
+        taken = [buf.take(timeout=0.1).block_id.block_index for _ in range(3)]
+        assert taken == [0, 1, 2]
+
+    def test_put_blocks_when_full_and_reports_stall(self):
+        buf = ProducerBuffer(capacity=1, high_water_mark=1)
+        buf.put(make_block(0))
+
+        def drain_later():
+            import time
+
+            time.sleep(0.1)
+            buf.take(timeout=1)
+
+        t = threading.Thread(target=drain_later)
+        t.start()
+        stalled = buf.put(make_block(1), timeout=5)
+        t.join()
+        assert stalled >= 0.05
+        assert buf.stats.get("producer_stall_time") >= 0.05
+
+    def test_put_after_close_raises(self):
+        buf = ProducerBuffer(capacity=2, high_water_mark=1)
+        buf.close()
+        with pytest.raises(BufferClosed):
+            buf.put(make_block(0))
+
+    def test_take_returns_none_when_closed_and_empty(self):
+        buf = ProducerBuffer(capacity=2, high_water_mark=1)
+        buf.close()
+        assert buf.take(timeout=0.05) is None
+
+    def test_steal_only_above_watermark(self):
+        buf = ProducerBuffer(capacity=8, high_water_mark=3)
+        for i in range(3):
+            buf.put(make_block(i))
+        assert buf.steal(timeout=0.05) is None  # at the mark, not above
+        buf.put(make_block(3))
+        stolen = buf.steal(timeout=0.5)
+        assert stolen is not None and stolen.block_id.block_index == 0
+
+    def test_steal_returns_none_after_close(self):
+        buf = ProducerBuffer(capacity=4, high_water_mark=2)
+        buf.close()
+        assert buf.steal(timeout=0.05) is None
+
+    def test_timeout_on_full_buffer(self):
+        buf = ProducerBuffer(capacity=1, high_water_mark=1)
+        buf.put(make_block(0))
+        with pytest.raises(TimeoutError):
+            buf.put(make_block(1), timeout=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProducerBuffer(capacity=0, high_water_mark=0)
+        with pytest.raises(ValueError):
+            ProducerBuffer(capacity=4, high_water_mark=5)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_everything_put_is_taken_exactly_once(self, indices):
+        buf = ProducerBuffer(capacity=len(indices) + 1, high_water_mark=len(indices))
+        for step, i in enumerate(indices):
+            buf.put(DataBlock(BlockId(step, 0, 0), np.array([i])))
+        buf.close()
+        seen = []
+        while True:
+            block = buf.take(timeout=0.01)
+            if block is None:
+                break
+            seen.append(int(block.data[0]))
+        assert seen == indices
+
+
+class TestConsumerBuffer:
+    def test_get_and_free_accounting_no_preserve(self):
+        buf = ConsumerBuffer(capacity=4, preserve=False)
+        block = make_block(0)
+        buf.put(block)
+        got = buf.get(timeout=0.1)
+        assert got is block
+        assert buf.outstanding == 1
+        assert buf.mark_analyzed(block.block_id)
+        assert buf.outstanding == 0
+        assert buf.freed_blocks == 1
+
+    def test_preserve_requires_analyzed_and_stored(self):
+        buf = ConsumerBuffer(capacity=4, preserve=True)
+        block = make_block(0)
+        buf.put(block)
+        buf.get(timeout=0.1)
+        assert not buf.mark_analyzed(block.block_id)   # not yet stored
+        assert buf.mark_stored(block.block_id)          # now both -> freed
+        assert buf.freed_blocks == 1
+
+    def test_on_disk_blocks_count_as_stored(self):
+        buf = ConsumerBuffer(capacity=4, preserve=True)
+        block = make_block(0)
+        block.on_disk = True
+        buf.put(block)
+        buf.get(timeout=0.1)
+        assert buf.mark_analyzed(block.block_id)
+
+    def test_get_none_after_close(self):
+        buf = ConsumerBuffer(capacity=2)
+        buf.close()
+        assert buf.get(timeout=0.05) is None
+
+    def test_put_after_close_raises(self):
+        buf = ConsumerBuffer(capacity=2)
+        buf.close()
+        with pytest.raises(BufferClosed):
+            buf.put(make_block(0))
+
+    def test_mark_unknown_block_is_noop(self):
+        buf = ConsumerBuffer(capacity=2)
+        assert not buf.mark_analyzed(BlockId(9, 9, 9))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ConsumerBuffer(capacity=0)

@@ -1,0 +1,218 @@
+"""Unit tests for the channels and the threaded producer/consumer runtime modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockId,
+    ConsumerRuntime,
+    DataBlock,
+    FileChannel,
+    MixedMessage,
+    NetworkChannel,
+    ProducerRuntime,
+    RuntimeStats,
+    ZipperConfig,
+)
+
+
+def block(i: int, step: int = 0, elements: int = 64) -> DataBlock:
+    return DataBlock(BlockId(step, 0, i), np.full(elements, float(i)))
+
+
+class TestNetworkChannel:
+    def test_send_recv_roundtrip(self):
+        chan = NetworkChannel()
+        msg = MixedMessage(block=block(1), disk_ids=[BlockId(0, 0, 9)], producer_rank=2)
+        chan.send(msg)
+        got = chan.recv(timeout=0.5)
+        assert got is msg
+        assert chan.messages_sent == 1
+        assert chan.bytes_sent == msg.nbytes
+
+    def test_recv_timeout_returns_none(self):
+        assert NetworkChannel().recv(timeout=0.01) is None
+
+    def test_throttled_send_takes_time(self):
+        import time
+
+        chan = NetworkChannel(bandwidth=1e6)  # 1 MB/s
+        msg = MixedMessage(block=block(0, elements=12_500))  # 100 KB
+        start = time.perf_counter()
+        chan.send(msg)
+        assert time.perf_counter() - start >= 0.08
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkChannel(bandwidth=0)
+        with pytest.raises(ValueError):
+            NetworkChannel(latency=-1)
+
+    def test_eof_message_has_no_bytes(self):
+        assert MixedMessage(eof=True).nbytes == 0
+
+
+class TestFileChannel:
+    def test_write_read_roundtrip(self, tmp_path):
+        chan = FileChannel(tmp_path)
+        original = block(3)
+        path = chan.write(original)
+        assert path.exists()
+        loaded = chan.read(original.block_id)
+        assert loaded.on_disk
+        np.testing.assert_array_equal(loaded.data, original.data)
+        assert chan.blocks_written == 1 and chan.blocks_read == 1
+
+    def test_exists_delete(self, tmp_path):
+        chan = FileChannel(tmp_path)
+        b = block(0)
+        assert not chan.exists(b.block_id)
+        chan.write(b)
+        assert chan.exists(b.block_id)
+        assert chan.delete(b.block_id)
+        assert not chan.delete(b.block_id)
+
+    def test_stored_ids_sorted(self, tmp_path):
+        chan = FileChannel(tmp_path)
+        for i in (2, 0, 1):
+            chan.write(block(i))
+        names = chan.stored_ids()
+        assert names == sorted(names) and len(names) == 3
+
+    def test_read_missing_block_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FileChannel(tmp_path).read(BlockId(0, 0, 0))
+
+    def test_bandwidth_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileChannel(tmp_path, bandwidth=0)
+
+
+class TestRuntimeStats:
+    def test_add_get_snapshot(self):
+        s = RuntimeStats()
+        s.add("x", 2)
+        s.add("x", 3)
+        s.set("y", 7)
+        assert s.get("x") == 5 and s.get("y") == 7
+        assert s.snapshot() == {"x": 5.0, "y": 7.0}
+
+    def test_merge(self):
+        a, b = RuntimeStats(), RuntimeStats()
+        a.add("blocks_produced", 4)
+        b.add("blocks_produced", 6)
+        b.add("blocks_stolen", 3)
+        merged = a.merge(b)
+        assert merged.get("blocks_produced") == 10
+        assert merged.steal_fraction == pytest.approx(0.3)
+
+    def test_steal_fraction_zero_without_production(self):
+        assert RuntimeStats().steal_fraction == 0.0
+
+
+class TestProducerConsumerRuntimes:
+    def make_pair(self, tmp_path, **cfg_kwargs):
+        config = ZipperConfig(spill_dir=tmp_path, **cfg_kwargs)
+        stats = RuntimeStats()
+        network = NetworkChannel(
+            bandwidth=config.network_bandwidth, latency=config.network_latency
+        )
+        files = FileChannel(tmp_path)
+        producer = ProducerRuntime(config, network, files, stats)
+        consumer = ConsumerRuntime(config, network, files, stats)
+        return config, producer, consumer
+
+    def test_blocks_flow_end_to_end(self, tmp_path):
+        _, producer, consumer = self.make_pair(tmp_path, block_size=512)
+        producer.start()
+        consumer.start()
+        for i in range(10):
+            producer.write(BlockId(0, 0, i), np.full(64, float(i)))
+        producer.close()
+        received = sorted(b.block_id.block_index for b in consumer.blocks(timeout=1.0))
+        consumer.join()
+        assert received == list(range(10))
+        assert consumer.buffer.outstanding == 0
+
+    def test_write_after_close_rejected(self, tmp_path):
+        _, producer, _ = self.make_pair(tmp_path)
+        producer.start()
+        producer.close()
+        with pytest.raises(RuntimeError):
+            producer.write(BlockId(0, 0, 0), np.zeros(4))
+
+    def test_close_is_idempotent(self, tmp_path):
+        _, producer, _ = self.make_pair(tmp_path)
+        producer.start()
+        producer.close()
+        producer.close()
+        assert producer.closed
+
+    def test_write_array_splits_into_blocks(self, tmp_path):
+        config, producer, consumer = self.make_pair(tmp_path, block_size=256)
+        producer.start()
+        consumer.start()
+        data = np.arange(128, dtype=np.float64)  # 1024 bytes -> 4 blocks of 256
+        nblocks = producer.write_array(step=0, array=data)
+        producer.close()
+        blocks = list(consumer.blocks(timeout=1.0))
+        consumer.join()
+        assert nblocks == 4 and len(blocks) == 4
+        reassembled = np.concatenate(
+            [b.data for b in sorted(blocks, key=lambda b: b.block_id.block_index)]
+        )
+        np.testing.assert_array_equal(reassembled, data)
+
+    def test_work_stealing_uses_file_channel(self, tmp_path):
+        _, producer, consumer = self.make_pair(
+            tmp_path,
+            block_size=8192,
+            producer_buffer_blocks=4,
+            high_water_mark=1,
+            network_bandwidth=2e6,  # slow message path -> buffer fills
+        )
+        producer.start()
+        consumer.start()
+        for i in range(24):
+            producer.write(BlockId(0, 0, i), np.zeros(1024))
+        producer.close()
+        indices = sorted(b.block_id.block_index for b in consumer.blocks(timeout=2.0))
+        consumer.join()
+        assert indices == list(range(24))
+        assert producer.stats.get("blocks_stolen") > 0
+        assert producer.stats.get("blocks_stolen") + producer.stats.get("blocks_sent_network") == 24
+
+    def test_disabled_concurrent_transfer_never_steals(self, tmp_path):
+        _, producer, consumer = self.make_pair(
+            tmp_path,
+            block_size=8192,
+            producer_buffer_blocks=4,
+            high_water_mark=1,
+            network_bandwidth=5e6,
+            concurrent_transfer=False,
+        )
+        producer.start()
+        consumer.start()
+        for i in range(8):
+            producer.write(BlockId(0, 0, i), np.zeros(1024))
+        producer.close()
+        count = sum(1 for _ in consumer.blocks(timeout=2.0))
+        consumer.join()
+        assert count == 8
+        assert producer.stats.get("blocks_stolen", 0) == 0
+
+    def test_preserve_mode_persists_blocks(self, tmp_path):
+        config, producer, consumer = self.make_pair(tmp_path, mode="preserve", block_size=512)
+        producer.start()
+        consumer.start()
+        for i in range(6):
+            producer.write(BlockId(1, 0, i), np.full(32, float(i)))
+        producer.close()
+        seen = sum(1 for _ in consumer.blocks(timeout=1.0))
+        consumer.join()
+        assert seen == 6
+        assert consumer.stats.get("blocks_preserved") == 6
+        preserved = list((tmp_path / "preserved").glob("*.npy"))
+        assert len(preserved) == 6

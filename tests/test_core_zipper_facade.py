@@ -1,0 +1,127 @@
+"""Integration tests of the Zipper facade and ``zip_applications``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.analysis import StreamingMoments
+from repro.core import BlockId, Zipper, ZipperConfig, zip_applications
+
+
+def simple_producer(steps=4, blocks_per_step=3, elements=128):
+    def produce(writer):
+        rng = np.random.default_rng(0)
+        for step in range(steps):
+            for index in range(blocks_per_step):
+                writer.write(BlockId(step, 0, index), rng.standard_normal(elements))
+        return steps * blocks_per_step
+
+    return produce
+
+
+def counting_analysis():
+    def analyze(reader):
+        moments = StreamingMoments(max_order=2)
+        for block in reader.blocks():
+            moments.update(block.data)
+        return moments
+
+    return analyze
+
+
+class TestZipApplications:
+    def test_end_to_end_counts_match(self):
+        result = zip_applications(simple_producer(), counting_analysis(), ZipperConfig(block_size=1024))
+        assert result.producer_result == 12
+        assert result.consumer_result.blocks_consumed == 12
+        assert result.blocks_produced == 12
+        assert result.end_to_end_time > 0
+        assert result.config is not None
+
+    def test_streamed_statistics_match_offline(self):
+        collected = []
+
+        def produce(writer):
+            rng = np.random.default_rng(7)
+            for step in range(5):
+                data = rng.standard_normal(256)
+                collected.append(data)
+                writer.write(BlockId(step, 0, 0), data)
+
+        result = zip_applications(produce, counting_analysis(), ZipperConfig(block_size=2048))
+        everything = np.concatenate(collected)
+        assert result.consumer_result.variance == pytest.approx(float(np.var(everything)), rel=1e-9)
+
+    def test_preserve_mode(self, tmp_path):
+        config = ZipperConfig(block_size=1024, mode="preserve", spill_dir=tmp_path)
+        result = zip_applications(simple_producer(steps=3), counting_analysis(), config)
+        assert result.stats.get("blocks_preserved") == 9
+        assert len(list((tmp_path / "preserved").glob("*.npy"))) == 9
+
+    def test_throttled_network_triggers_work_stealing(self, tmp_path):
+        config = ZipperConfig(
+            block_size=8192,
+            producer_buffer_blocks=4,
+            high_water_mark=2,
+            network_bandwidth=2e6,
+            spill_dir=tmp_path,
+        )
+        result = zip_applications(
+            simple_producer(steps=4, blocks_per_step=8, elements=1024),
+            counting_analysis(),
+            config,
+        )
+        assert result.consumer_result.blocks_consumed == 32
+        assert result.blocks_stolen > 0
+        assert 0 < result.steal_fraction < 1
+
+    def test_producer_exception_propagates(self):
+        def bad_producer(writer):
+            writer.write(BlockId(0, 0, 0), np.zeros(8))
+            raise RuntimeError("simulation blew up")
+
+        with pytest.raises(RuntimeError, match="simulation blew up"):
+            zip_applications(bad_producer, counting_analysis(), ZipperConfig())
+
+    def test_consumer_exception_propagates(self):
+        def bad_analysis(reader):
+            for _ in reader.blocks():
+                raise ValueError("analysis failed")
+
+        with pytest.raises(ValueError, match="analysis failed"):
+            zip_applications(simple_producer(steps=1), bad_analysis, ZipperConfig())
+
+    def test_empty_producer_terminates(self):
+        def produce(writer):
+            return 0
+
+        def analyze(reader):
+            return sum(1 for _ in reader.blocks())
+
+        result = zip_applications(produce, analyze, ZipperConfig())
+        assert result.consumer_result == 0
+
+
+class TestZipperSession:
+    def test_manual_session(self, tmp_path):
+        config = ZipperConfig(block_size=512, spill_dir=tmp_path)
+        with Zipper(config) as session:
+            session.write(BlockId(0, 0, 0), np.arange(16.0))
+            session.finalize_producer()
+            block = session.read(timeout=1.0)
+            assert block is not None
+            np.testing.assert_array_equal(block.data, np.arange(16.0))
+            session.release(block.block_id)
+            assert session.read(timeout=1.0) is None
+
+    def test_temporary_spill_dir_cleanup(self):
+        session = Zipper(ZipperConfig(block_size=512))
+        spill = session.spill_dir
+        session.start()
+        session.write(BlockId(0, 0, 0), np.zeros(4))
+        session.finalize_producer()
+        while session.read(timeout=0.5) is not None:
+            pass
+        session.close()
+        assert not spill.exists()

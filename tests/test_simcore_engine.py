@@ -1,0 +1,119 @@
+"""Unit tests for the simulation environment / event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simcore import Environment, SimulationError, Timeout
+from repro.simcore.engine import EmptySchedule
+
+
+class TestClock:
+    def test_starts_at_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_run_until_time(self, env):
+        log = []
+
+        def ticker(env):
+            while True:
+                yield Timeout(env, 1.0)
+                log.append(env.now)
+
+        env.process(ticker(env))
+        env.run(until=3.5)
+        assert log == [1.0, 2.0, 3.0]
+        assert env.now == pytest.approx(3.5)
+
+    def test_run_until_past_time_raises(self, env):
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_run_drains_queue(self, env):
+        done = []
+
+        def proc(env):
+            yield Timeout(env, 2)
+            done.append(True)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [True]
+        assert env.peek() == float("inf")
+
+    def test_run_until_untriggered_event_with_empty_schedule_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            env.run(until=ev)
+
+
+class TestStep:
+    def test_step_empty_schedule_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_events_processed_counter(self, env):
+        for delay in (1, 2, 3):
+            Timeout(env, delay)
+        env.run()
+        assert env.events_processed == 3
+
+    def test_priority_orders_same_time_events(self, env):
+        order = []
+
+        def proc(env):
+            # The Initialize event is URGENT and must run before a NORMAL
+            # timeout scheduled at the same instant.
+            order.append("proc-started")
+            yield Timeout(env, 1)
+
+        t = Timeout(env, 0.0)
+        t.add_callback(lambda e: order.append("timeout"))
+        env.process(proc(env))
+        env.run()
+        assert order[0] == "proc-started"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.schedule(env.event(), delay=-0.1)
+
+
+class TestRunAll:
+    def test_run_all_returns_count(self, env):
+        for delay in (1, 2):
+            Timeout(env, delay)
+        assert env.run_all() == 2
+
+    def test_run_all_budget_guard(self, env):
+        def forever(env):
+            while True:
+                yield Timeout(env, 1)
+
+        env.process(forever(env))
+        with pytest.raises(SimulationError):
+            env.run_all(max_events=10)
+
+
+class TestDeterminism:
+    def test_same_model_same_timeline(self):
+        def build_and_run():
+            env = Environment()
+            log = []
+
+            def worker(env, wid):
+                for i in range(3):
+                    yield Timeout(env, 0.5 * (wid + 1))
+                    log.append((round(env.now, 6), wid, i))
+
+            for wid in range(4):
+                env.process(worker(env, wid))
+            env.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+    def test_helpers_create_bound_objects(self, env):
+        assert env.event().env is env
+        assert env.timeout(1.0).env is env

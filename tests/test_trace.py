@@ -1,0 +1,159 @@
+"""Unit tests for the tracing and Gantt-timeline utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import (
+    Span,
+    Timeline,
+    Tracer,
+    category_share,
+    compare_traces,
+    render_ascii,
+    steps_in_window,
+    summarize_categories,
+)
+
+
+def build_trace():
+    t = Tracer()
+    # rank 0: two steps of 1s each, with 0.3s of stall inside the second
+    t.record(0, "step", 0.0, 1.0)
+    t.record(0, "compute", 0.0, 0.8)
+    t.record(0, "step", 1.0, 2.0)
+    t.record(0, "stall", 1.5, 1.8)
+    # rank 1 (analysis): one long span
+    t.record(1, "analysis", 0.2, 1.9)
+    return t
+
+
+class TestSpan:
+    def test_duration_and_overlap(self):
+        s = Span(0, "x", 1.0, 3.0)
+        assert s.duration == 2.0
+        assert s.overlaps(2.0, 4.0)
+        assert not s.overlaps(3.0, 4.0)
+        clipped = s.clipped(2.0, 10.0)
+        assert (clipped.start, clipped.end) == (2.0, 3.0)
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            Span(0, "x", 2.0, 1.0)
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        t = build_trace()
+        assert len(t) == 5
+        assert t.ranks() == [0, 1]
+        assert "stall" in t.categories()
+        assert t.total_time("step", rank=0) == pytest.approx(2.0)
+        assert len(t.spans_for(rank=0, category="step")) == 2
+
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        assert t.record(0, "x", 0, 1) is None
+        assert len(t) == 0
+
+    def test_category_filter(self):
+        t = Tracer(categories=["step"])
+        t.record(0, "step", 0, 1)
+        t.record(0, "other", 0, 1)
+        assert t.categories() == ["step"]
+
+    def test_span_context_manager(self):
+        t = Tracer()
+        clock = iter([1.0, 3.5])
+        with t.span(2, "work", clock=lambda: next(clock)):
+            pass
+        assert t.spans[0].duration == pytest.approx(2.5)
+
+    def test_merge(self):
+        a, b = Tracer(), Tracer()
+        a.record(0, "x", 0, 1)
+        b.record(1, "y", 0.5, 2)
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert merged.ranks() == [0, 1]
+
+    def test_clear(self):
+        t = build_trace()
+        t.clear()
+        assert len(t) == 0
+
+
+class TestTimeline:
+    def test_window_clipping(self):
+        t = build_trace()
+        tl = Timeline(t, 0.5, 1.5)
+        assert tl.duration == pytest.approx(1.0)
+        row0 = tl.row(0)
+        assert row0.busy_time() > 0
+        # The clipped "compute" span contributes only [0.5, 0.8].
+        assert row0.category_time("compute") == pytest.approx(0.3)
+
+    def test_missing_rank_raises(self):
+        tl = Timeline(build_trace())
+        with pytest.raises(KeyError):
+            tl.row(99)
+
+    def test_empty_trace(self):
+        tl = Timeline(Tracer())
+        assert tl.rows == []
+        assert tl.categories() == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            Timeline(build_trace(), 2.0, 1.0)
+
+    def test_render_ascii(self):
+        text = render_ascii(Timeline(build_trace()), width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 ranks
+        assert "rank    0" in lines[1]
+        assert len(lines[1].split("|")[1]) == 40
+
+    def test_render_ascii_rank_filter(self):
+        text = render_ascii(Timeline(build_trace()), width=20, ranks=[1])
+        assert "rank    1" in text and "rank    0" not in text
+
+    def test_render_width_validation(self):
+        with pytest.raises(ValueError):
+            render_ascii(Timeline(build_trace()), width=0)
+
+
+class TestAnalysis:
+    def test_summarize_categories(self):
+        sums = summarize_categories(build_trace())
+        assert sums["step"] == pytest.approx(2.0)
+        assert sums["analysis"] == pytest.approx(1.7)
+        rank0 = summarize_categories(build_trace(), rank=0)
+        assert "analysis" not in rank0
+
+    def test_category_share(self):
+        t = Tracer()
+        t.record(0, "a", 0, 1)
+        t.record(0, "b", 0, 3)
+        assert category_share(t, "a") == pytest.approx(0.25)
+        assert category_share(Tracer(), "a") == 0.0
+
+    def test_steps_in_window_counts_fractions(self):
+        t = build_trace()
+        assert steps_in_window(t, 0.0, 2.0, "step", rank=0) == pytest.approx(2.0)
+        assert steps_in_window(t, 0.0, 1.5, "step", rank=0) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            steps_in_window(t, 2.0, 1.0)
+
+    def test_compare_traces_ratio(self):
+        fast, slow = Tracer(), Tracer()
+        for i in range(4):
+            fast.record(0, "step", i * 1.0, (i + 1) * 1.0)
+        for i in range(2):
+            slow.record(0, "step", i * 2.0, (i + 1) * 2.0)
+        cmp = compare_traces(fast, slow, window=4.0, rank=0)
+        assert cmp["steps_a"] == pytest.approx(4.0)
+        assert cmp["steps_b"] == pytest.approx(2.0)
+        assert cmp["ratio"] == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            compare_traces(fast, slow, window=0.0)

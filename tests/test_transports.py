@@ -1,0 +1,195 @@
+"""Tests for the transport registry and the behavioural properties of each transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.costs import MiB, cfd_workload, lammps_workload
+from repro.transports import (
+    DecafTransport,
+    FlexpathTransport,
+    MPIIOTransport,
+    TransportFault,
+    available_transports,
+    create_transport,
+)
+from repro.transports.registry import canonical_name
+from repro.workflow import WorkflowConfig, run_workflow
+
+
+class TestRegistry:
+    def test_all_paper_methods_available(self):
+        names = available_transports()
+        for required in (
+            "mpiio",
+            "dataspaces",
+            "adios+dataspaces",
+            "dimes",
+            "adios+dimes",
+            "flexpath",
+            "decaf",
+            "zipper",
+            "none",
+        ):
+            assert required in names
+
+    def test_aliases(self):
+        assert canonical_name("ADIOS/DataSpaces") == "adios+dataspaces"
+        assert canonical_name("native DIMES") == "dimes"
+        assert canonical_name("MPI-IO") == "mpiio"
+        assert type(create_transport("Simulation-Only")).__name__ == "NullTransport"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            create_transport("carrier-pigeon")
+
+    def test_failure_domain_metadata(self):
+        assert create_transport("decaf").multiple_failure_domains is False
+        assert create_transport("dataspaces").multiple_failure_domains is True
+        assert create_transport("dataspaces").uses_staging_ranks is True
+        assert create_transport("zipper").uses_staging_ranks is False
+
+
+class TestTransportParameterValidation:
+    def test_mpiio(self):
+        with pytest.raises(ValueError):
+            MPIIOTransport(shared_file_penalty=0.0)
+        with pytest.raises(ValueError):
+            MPIIOTransport(poll_interval=0.0)
+
+    def test_flexpath(self):
+        with pytest.raises(ValueError):
+            FlexpathTransport(socket_node_bandwidth=0)
+        with pytest.raises(ValueError):
+            FlexpathTransport(socket_contention=-1)
+
+    def test_decaf(self):
+        with pytest.raises(ValueError):
+            DecafTransport(link_buffer_steps=0)
+        with pytest.raises(ValueError):
+            DecafTransport(element_bytes=0)
+        with pytest.raises(ValueError):
+            DecafTransport(serialization_seconds_per_byte=-1)
+
+
+@pytest.fixture(scope="module")
+def quick_results(request):
+    """One small CFD run per transport, shared across the behavioural tests."""
+    from repro.cluster.presets import bridges
+
+    base = WorkflowConfig(
+        workload=cfd_workload(steps=5),
+        cluster=bridges(),
+        total_cores=384,
+        representative_sim_ranks=8,
+        steps=5,
+    )
+    transports = (
+        "none",
+        "zipper",
+        "decaf",
+        "flexpath",
+        "mpiio",
+        "dimes",
+        "adios+dimes",
+        "dataspaces",
+        "adios+dataspaces",
+    )
+    return {t: run_workflow(base.replace(transport=t)) for t in transports}
+
+
+class TestTransportBehaviour:
+    def test_all_transports_complete(self, quick_results):
+        for name, result in quick_results.items():
+            assert not result.failed, name
+            assert result.end_to_end_time > 0
+
+    def test_all_analysis_ranks_receive_all_steps(self, quick_results):
+        for name, result in quick_results.items():
+            if name == "none":
+                continue
+            for arank, stats in result.analysis_rank_stats.items():
+                assert stats.get("analysis_time", 0.0) > 0, (name, arank)
+
+    def test_every_coupling_is_slower_than_simulation_only(self, quick_results):
+        floor = quick_results["none"].end_to_end_time
+        for name, result in quick_results.items():
+            if name == "none":
+                continue
+            assert result.end_to_end_time >= floor * 0.999, name
+
+    def test_zipper_is_the_fastest_coupling(self, quick_results):
+        zipper = quick_results["zipper"].end_to_end_time
+        for name, result in quick_results.items():
+            if name in ("zipper", "none"):
+                continue
+            assert zipper <= result.end_to_end_time * 1.001, name
+
+    def test_mpiio_is_the_slowest(self, quick_results):
+        slowest = max(
+            (r.end_to_end_time, n) for n, r in quick_results.items() if n != "none"
+        )
+        assert slowest[1] == "mpiio"
+
+    def test_adios_interface_is_slower_than_native(self, quick_results):
+        assert (
+            quick_results["adios+dataspaces"].end_to_end_time
+            >= quick_results["dataspaces"].end_to_end_time * 0.999
+        )
+        assert (
+            quick_results["adios+dimes"].end_to_end_time
+            >= quick_results["dimes"].end_to_end_time * 0.999
+        )
+
+    def test_mpiio_moves_data_through_the_file_system(self, quick_results):
+        assert quick_results["mpiio"].stats.get("bytes_file", 0) > 0
+
+    def test_decaf_records_waitall_time(self, quick_results):
+        stats = quick_results["decaf"].sim_rank_stats[0]
+        assert stats.get("waitall_time", 0.0) > 0
+
+    def test_zipper_produces_expected_block_count(self, quick_results):
+        result = quick_results["zipper"]
+        # 8 modelled ranks x 5 steps x 16 blocks (16 MiB output / 1 MiB blocks)
+        assert result.stats.get("blocks_produced") == 8 * 5 * 16
+
+
+class TestDecafIntegerOverflow:
+    def _config(self, workload, cores):
+        from repro.cluster.presets import stampede2
+
+        return WorkflowConfig(
+            workload=workload,
+            cluster=stampede2(),
+            transport="decaf",
+            total_cores=cores,
+            representative_sim_ranks=4,
+            steps=3,
+        )
+
+    def test_cfd_overflows_at_large_scale(self):
+        result = run_workflow(self._config(cfd_workload(steps=3), 6528))
+        assert result.failed
+        assert "overflow" in result.failure_reason
+
+    def test_cfd_fine_at_moderate_scale(self):
+        result = run_workflow(self._config(cfd_workload(steps=3), 3264))
+        assert not result.failed
+
+    def test_lammps_never_overflows(self):
+        result = run_workflow(self._config(lammps_workload(steps=3), 13056))
+        assert not result.failed
+
+    def test_fault_is_a_transport_fault(self):
+        transport = DecafTransport()
+
+        class FakeWorkload:
+            output_bytes_per_step = 64 * MiB
+            element_bytes = 8
+
+        class FakeCtx:
+            total_sim_ranks = 10_000
+            workload = FakeWorkload()
+
+        with pytest.raises(TransportFault):
+            transport._check_overflow(FakeCtx())
