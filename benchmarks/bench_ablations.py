@@ -12,29 +12,33 @@ decision in isolation:
 
 from __future__ import annotations
 
-from conftest import bench_data_mib
+from conftest import bench_data_mib, bench_workers
 
 from repro.apps.costs import MiB, cfd_workload, synthetic_workload
 from repro.bench import format_table
 from repro.cluster.presets import bridges
+from repro.sweep import ParamGrid, run_labelled
 from repro.workflow import WorkflowConfig, run_workflow
+
+BLOCK_SIZES = (1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB)
+WATERMARKS = (4, 16, 32, 48, 63)
 
 
 def run_blocksize_sweep(data_per_rank: int):
-    results = {}
-    for block in (1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB):
-        cfg = WorkflowConfig(
+    grid = ParamGrid(
+        WorkflowConfig(
             workload=cfd_workload(steps=15),
             cluster=bridges(),
             transport="zipper",
             total_cores=384,
             representative_sim_ranks=8,
-            block_bytes=block,
             steps=15,
-            label=f"block={block // MiB}MB",
-        )
-        results[block // MiB] = run_workflow(cfg)
-    return results
+        ),
+        axes=[("block_bytes", BLOCK_SIZES)],
+        label=lambda p: f"block={p['block_bytes'] // MiB}MB",
+    )
+    results = run_labelled(grid, workers=bench_workers())
+    return {block // MiB: results[f"block={block // MiB}MB"] for block in BLOCK_SIZES}
 
 
 def test_ablation_block_size(benchmark, report):
@@ -56,21 +60,20 @@ def test_ablation_block_size(benchmark, report):
 
 
 def run_watermark_sweep(data_per_rank: int):
-    workload = synthetic_workload("O(n)", 1 * MiB, data_per_rank=data_per_rank)
-    results = {}
-    for hwm in (4, 16, 32, 48, 63):
-        cfg = WorkflowConfig(
-            workload=workload,
+    grid = ParamGrid(
+        WorkflowConfig(
+            workload=synthetic_workload("O(n)", 1 * MiB, data_per_rank=data_per_rank),
             cluster=bridges(),
             transport="zipper",
             total_cores=588,
             representative_sim_ranks=8,
             producer_buffer_blocks=64,
-            high_water_mark=hwm,
-            label=f"hwm={hwm}",
-        )
-        results[hwm] = run_workflow(cfg)
-    return results
+        ),
+        axes=[("high_water_mark", WATERMARKS)],
+        label="hwm={high_water_mark}",
+    )
+    results = run_labelled(grid, workers=bench_workers())
+    return {hwm: results[f"hwm={hwm}"] for hwm in WATERMARKS}
 
 
 def test_ablation_high_water_mark(benchmark, report):

@@ -11,21 +11,20 @@ analytical model of Section 4.4.
 
 from __future__ import annotations
 
-from conftest import bench_data_mib
+from conftest import bench_data_mib, bench_workers
 
 from repro.bench import format_table
 from repro.bench.experiments import figure12_configs
 from repro.core import PerformanceModel, StageTimes
-from repro.workflow import run_workflow
+from repro.sweep import run_labelled
 
 MiB = 1024 * 1024
 
 
 def run_figure12(data_per_rank: int):
-    results = {}
-    for label, cfg in figure12_configs(data_per_rank=data_per_rank):
-        results[label] = (cfg, run_workflow(cfg))
-    return results
+    configs = figure12_configs(data_per_rank=data_per_rank)
+    results = run_labelled(configs, workers=bench_workers())
+    return {label: (cfg, results[label]) for label, cfg in configs}
 
 
 def _model_estimate(cfg, result):

@@ -8,20 +8,17 @@ almost equal to the time spent storing the results, since writing the full
 
 from __future__ import annotations
 
-from conftest import bench_data_mib
+from conftest import bench_data_mib, bench_workers
 
 from repro.bench import format_table
 from repro.bench.experiments import figure13_configs
-from repro.workflow import run_workflow
+from repro.sweep import run_labelled
 
 MiB = 1024 * 1024
 
 
 def run_figure13(data_per_rank: int):
-    results = {}
-    for label, cfg in figure13_configs(data_per_rank=data_per_rank):
-        results[label] = run_workflow(cfg)
-    return results
+    return run_labelled(figure13_configs(data_per_rank=data_per_rank), workers=bench_workers())
 
 
 def test_figure13_preserve_breakdown(benchmark, report):

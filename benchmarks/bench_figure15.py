@@ -14,21 +14,21 @@ configurations and reports the counter, checking the paper's observations:
 
 from __future__ import annotations
 
-from conftest import bench_data_mib
+from conftest import bench_data_mib, bench_workers
 
 from repro.bench import format_table
 from repro.bench.experiments import figure14_configs
-from repro.workflow import run_workflow
+from repro.sweep import run_labelled
 
 MiB = 1024 * 1024
 CORE_COUNTS = (84, 336, 2352)
 
 
 def run_figure15(data_per_rank: int):
-    results = {}
-    for label, cfg in figure14_configs(data_per_rank=data_per_rank, core_counts=CORE_COUNTS):
-        results[label] = run_workflow(cfg)
-    return results
+    return run_labelled(
+        figure14_configs(data_per_rank=data_per_rank, core_counts=CORE_COUNTS),
+        workers=bench_workers(),
+    )
 
 
 def test_figure15_xmitwait_congestion(benchmark, report):

@@ -12,18 +12,15 @@ Flexpath, Decaf and Zipper.  The paper's findings to check:
 
 from __future__ import annotations
 
-from conftest import bench_steps
+from conftest import bench_steps, bench_workers
 
 from repro.bench import format_table
 from repro.bench.experiments import SCALABILITY_CORE_COUNTS, figure18_configs
-from repro.workflow import run_workflow
+from repro.sweep import run_labelled
 
 
 def run_figure18(steps: int):
-    results = {}
-    for label, cfg in figure18_configs(steps=steps):
-        results[label] = run_workflow(cfg)
-    return results
+    return run_labelled(figure18_configs(steps=steps), workers=bench_workers())
 
 
 def test_figure18_lammps_weak_scaling(benchmark, report):

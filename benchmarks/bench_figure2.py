@@ -15,18 +15,15 @@ reference bars.  The paper's headline observations to look for in the output:
 
 from __future__ import annotations
 
-from conftest import bench_steps
+from conftest import bench_steps, bench_workers
 
 from repro.bench import format_table
 from repro.bench.experiments import figure2_configs
-from repro.workflow import run_workflow
+from repro.sweep import run_labelled
 
 
 def run_figure2(steps: int):
-    results = {}
-    for transport, cfg in figure2_configs(steps=steps):
-        results[transport] = run_workflow(cfg)
-    return results
+    return run_labelled(figure2_configs(steps=steps), workers=bench_workers())
 
 
 def test_figure2_cfd_transport_comparison(benchmark, report):

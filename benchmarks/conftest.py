@@ -8,7 +8,8 @@ the wall-clock of the regeneration itself through ``pytest-benchmark``.
 Scale note: the benches default to fewer time steps / less data per rank than
 the paper so the whole suite finishes in a few minutes on a laptop.  Set the
 environment variable ``REPRO_BENCH_STEPS`` (and ``REPRO_BENCH_DATA_MIB``) to
-larger values for a closer-to-paper run.
+larger values for a closer-to-paper run, and ``REPRO_BENCH_WORKERS`` to fan
+the scenario grids out over that many worker processes.
 """
 
 from __future__ import annotations
@@ -28,6 +29,11 @@ def bench_steps(default: int = 20) -> int:
 def bench_data_mib(default: int = 128) -> int:
     """Per-rank synthetic data volume (MiB) used by the benches."""
     return int(os.environ.get("REPRO_BENCH_DATA_MIB", default))
+
+
+def bench_workers(default: int = 0) -> int:
+    """Sweep-engine worker processes (0 = serial in-process)."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", default))
 
 
 @pytest.fixture(scope="session")

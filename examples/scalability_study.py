@@ -2,7 +2,8 @@
 
 Run with::
 
-    python examples/scalability_study.py
+    python examples/scalability_study.py            # serial
+    REPRO_SWEEP_WORKERS=4 python examples/scalability_study.py
 
 This example exercises the *simulated distributed* side of the library (the
 cluster model, the simulated MPI layer, the baseline transports and the Zipper
@@ -11,34 +12,45 @@ counts, the structure of the paper's Figures 16 and 18: weak-scaling the CFD
 and LAMMPS workflows on a Stampede2-like machine from 204 to 13,056 cores and
 comparing the end-to-end time of Zipper, Decaf, Flexpath and MPI-IO against
 the simulation-only lower bound.
+
+The scenario grid is declared with :class:`repro.sweep.ParamGrid` and executed
+through :class:`repro.sweep.SweepRunner`, which fans the independent runs out
+over ``REPRO_SWEEP_WORKERS`` processes (serial by default).
 """
 
 from __future__ import annotations
 
-from repro.apps.costs import cfd_workload, lammps_workload
+import os
+
 from repro.bench import format_table
+from repro.apps.costs import cfd_workload, lammps_workload
 from repro.cluster.presets import stampede2
-from repro.workflow import WorkflowConfig, run_workflow
+from repro.sweep import ParamGrid, SweepRunner
+from repro.workflow import WorkflowConfig
 
 CORE_COUNTS = (204, 1632, 6528, 13056)
 TRANSPORTS = ("none", "zipper", "decaf", "flexpath", "mpiio")
 STEPS = 15
 
 
-def study(workload_factory, name: str) -> None:
+def study(workload_factory, name: str, workers: int) -> None:
+    grid = ParamGrid(
+        WorkflowConfig(
+            workload=workload_factory(steps=STEPS),
+            cluster=stampede2(),
+            total_cores=CORE_COUNTS[0],
+            representative_sim_ranks=8,
+            steps=STEPS,
+        ),
+        axes=[("total_cores", CORE_COUNTS), ("transport", TRANSPORTS)],
+        label="{total_cores}/{transport}",
+    )
+    results = SweepRunner(workers=workers, trace=False).run_labelled(grid)
     rows = []
     for cores in CORE_COUNTS:
         row = [cores]
         for transport in TRANSPORTS:
-            cfg = WorkflowConfig(
-                workload=workload_factory(steps=STEPS),
-                cluster=stampede2(),
-                transport=transport,
-                total_cores=cores,
-                representative_sim_ranks=8,
-                steps=STEPS,
-            )
-            result = run_workflow(cfg)
+            result = results[f"{cores}/{transport}"]
             row.append("FAIL" if result.failed else round(result.end_to_end_time, 1))
         rows.append(row)
     headers = ["cores"] + ["simulation-only" if t == "none" else t for t in TRANSPORTS]
@@ -47,8 +59,9 @@ def study(workload_factory, name: str) -> None:
 
 
 def main() -> None:
-    study(cfd_workload, "CFD (lattice Boltzmann + n-th moment)")
-    study(lammps_workload, "LAMMPS (Lennard-Jones melt + MSD)")
+    workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+    study(cfd_workload, "CFD (lattice Boltzmann + n-th moment)", workers)
+    study(lammps_workload, "LAMMPS (Lennard-Jones melt + MSD)", workers)
     print(
         "Zipper tracks the simulation-only lower bound at every scale; Decaf's\n"
         "CFD runs abort with the integer-overflow fault at 6,528+ cores, exactly\n"

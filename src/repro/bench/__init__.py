@@ -2,15 +2,25 @@
 
 The modules here define, for every table and figure of the paper, the exact
 workflow configurations to run and the rows/series to print, so the scripts in
-``benchmarks/`` stay thin.  All experiments run on the representative-rank
-simulator; the scale knobs (``steps``, ``representative_sim_ranks``,
-``data_per_rank``) default to values small enough for a laptop while keeping
-the per-rank workload and the full-job parameters faithful to the paper.
+``benchmarks/`` stay thin.  The scenario grids are declared as
+:class:`~repro.sweep.spec.SweepSpec` objects (``figureN_spec``) and executed
+through :mod:`repro.sweep`; the ``figureN_configs`` functions expand them into
+flat ``(label, config)`` lists.  All experiments run on the
+representative-rank simulator; the scale knobs (``steps``,
+``representative_sim_ranks``, ``data_per_rank``) default to values small
+enough for a laptop while keeping the per-rank workload and the full-job
+parameters faithful to the paper.
 """
 
 from repro.bench.report import format_table, format_series, breakdown_row
 from repro.bench.experiments import (
     FIGURE2_TRANSPORTS,
+    figure2_spec,
+    figure12_spec,
+    figure13_spec,
+    figure14_spec,
+    figure16_spec,
+    figure18_spec,
     figure2_configs,
     figure12_configs,
     figure13_configs,
@@ -18,7 +28,9 @@ from repro.bench.experiments import (
     figure16_configs,
     figure18_configs,
     trace_config,
+    run_all,
     SCALABILITY_CORE_COUNTS,
+    SCALABILITY_TRANSPORTS,
     SYNTHETIC_SCALING_CORES,
 )
 
@@ -27,6 +39,12 @@ __all__ = [
     "format_series",
     "breakdown_row",
     "FIGURE2_TRANSPORTS",
+    "figure2_spec",
+    "figure12_spec",
+    "figure13_spec",
+    "figure14_spec",
+    "figure16_spec",
+    "figure18_spec",
     "figure2_configs",
     "figure12_configs",
     "figure13_configs",
@@ -34,6 +52,8 @@ __all__ = [
     "figure16_configs",
     "figure18_configs",
     "trace_config",
+    "run_all",
     "SCALABILITY_CORE_COUNTS",
+    "SCALABILITY_TRANSPORTS",
     "SYNTHETIC_SCALING_CORES",
 ]

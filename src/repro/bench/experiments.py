@@ -1,25 +1,36 @@
 """Workflow configurations for every table and figure of the paper's evaluation.
 
-Each ``figureN_configs`` function returns the list of
-:class:`~repro.workflow.config.WorkflowConfig` objects (plus labels) whose
-results regenerate that figure.  Scale knobs default to laptop-friendly values
-— fewer steps and less data per rank than the paper — while the structural
-parameters (core counts, producer:consumer ratio, block sizes, machine
-presets) stay faithful, so the *shape* of every result is preserved.
+Each figure's scenario grid is declared as a :class:`~repro.sweep.spec.SweepSpec`
+(``figureN_spec``) built from :class:`~repro.sweep.spec.ParamGrid` axes —
+transports × core counts × block sizes × preserve modes — and the legacy
+``figureN_configs`` functions expand those specs into the ``(label, config)``
+lists the benchmark drivers consume.  Scale knobs default to laptop-friendly
+values — fewer steps and less data per rank than the paper — while the
+structural parameters (core counts, producer:consumer ratio, block sizes,
+machine presets) stay faithful, so the *shape* of every result is preserved.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.apps.costs import MiB, cfd_workload, lammps_workload, synthetic_workload
 from repro.cluster.presets import bridges, stampede2
+from repro.sweep.spec import ParamGrid, SweepSpec
 from repro.workflow.config import WorkflowConfig
+from repro.workflow.result import WorkflowResult
 
 __all__ = [
     "FIGURE2_TRANSPORTS",
     "SCALABILITY_CORE_COUNTS",
+    "SCALABILITY_TRANSPORTS",
     "SYNTHETIC_SCALING_CORES",
+    "figure2_spec",
+    "figure12_spec",
+    "figure13_spec",
+    "figure14_spec",
+    "figure16_spec",
+    "figure18_spec",
     "figure2_configs",
     "figure12_configs",
     "figure13_configs",
@@ -27,6 +38,7 @@ __all__ = [
     "figure16_configs",
     "figure18_configs",
     "trace_config",
+    "run_all",
 ]
 
 #: The seven transport methods of Figure 2 plus the two reference bars.
@@ -43,58 +55,75 @@ FIGURE2_TRANSPORTS: Tuple[str, ...] = (
 #: Core counts of the weak-scaling experiments (Figures 16 and 18).
 SCALABILITY_CORE_COUNTS: Tuple[int, ...] = (204, 408, 816, 1632, 3264, 6528, 13056)
 
+#: Transports compared in the weak-scaling experiments.
+SCALABILITY_TRANSPORTS: Tuple[str, ...] = ("mpiio", "flexpath", "decaf", "zipper", "none")
+
 #: Core counts of the concurrent-transfer experiments (Figures 14 and 15).
 SYNTHETIC_SCALING_CORES: Tuple[int, ...] = (84, 168, 336, 588, 1176, 2352)
 
+#: Block sizes of the performance-model validation (Figures 12 and 13).
+PERF_MODEL_BLOCK_BYTES: Tuple[int, ...] = (1 * MiB, 8 * MiB)
 
-def figure2_configs(steps: int = 30, representative_sim_ranks: int = 8) -> List[Tuple[str, WorkflowConfig]]:
+#: Synthetic producer complexities of Figures 12-15.
+SYNTHETIC_COMPLEXITIES: Tuple[str, ...] = ("O(n)", "O(nlogn)", "O(n^1.5)")
+
+
+def figure2_spec(steps: int = 30, representative_sim_ranks: int = 8) -> SweepSpec:
     """The Bridges CFD workflow of Table 1 under each of the seven transports.
 
     Table 1: 256 simulation processes, 128 analysis processes, 100 time steps,
     16 MiB of output per process per step (400 GB moved in total).
     """
-    workload = cfd_workload(steps=steps)
     base = WorkflowConfig(
-        workload=workload,
+        workload=cfd_workload(steps=steps),
         cluster=bridges(),
         total_cores=384,
         sim_core_fraction=256 / 384,
         representative_sim_ranks=representative_sim_ranks,
         steps=steps,
+        trace=False,
         label="figure2",
     )
-    configs: List[Tuple[str, WorkflowConfig]] = []
-    for transport in FIGURE2_TRANSPORTS + ("zipper", "none"):
-        configs.append((transport, base.replace(transport=transport)))
-    return configs
+    grid = ParamGrid(
+        base,
+        axes=[("transport", FIGURE2_TRANSPORTS + ("zipper", "none"))],
+        label="{transport}",
+    )
+    return SweepSpec("figure2", grids=[grid])
 
 
-def _perf_model_base(
-    complexity: str,
-    block_bytes: int,
-    data_per_rank: int,
-    preserve: bool,
-    steps_cap: int,
-) -> WorkflowConfig:
-    workload = synthetic_workload(complexity, block_bytes, data_per_rank=data_per_rank)
-    if steps_cap is not None:
-        workload = workload.replace(steps=min(workload.steps, steps_cap))
-    return WorkflowConfig(
-        workload=workload,
+def _perf_model_spec(
+    name: str, data_per_rank: int, preserve: bool, steps_cap: Optional[int]
+) -> SweepSpec:
+    base = WorkflowConfig(
+        workload=synthetic_workload("O(n)", 1 * MiB, data_per_rank=data_per_rank),
         cluster=bridges(),
         transport="zipper",
         total_cores=2352,
         sim_core_fraction=1568 / 2352,
         representative_sim_ranks=8,
-        block_bytes=block_bytes,
         preserve=preserve,
-        label=f"{complexity}/{block_bytes // MiB}MB",
+        trace=False,
     )
 
+    def derive(params):
+        workload = synthetic_workload(
+            params["complexity"], params["block"], data_per_rank=data_per_rank
+        )
+        if steps_cap is not None:
+            workload = workload.replace(steps=min(workload.steps, steps_cap))
+        return {"workload": workload, "block_bytes": params["block"]}
 
-def figure12_configs(
-    data_per_rank: int = 256 * MiB, steps_cap: int = 512
-) -> List[Tuple[str, WorkflowConfig]]:
+    grid = ParamGrid(
+        base,
+        axes=[("block", PERF_MODEL_BLOCK_BYTES), ("complexity", SYNTHETIC_COMPLEXITIES)],
+        label=lambda p: f"{p['complexity']}/{p['block'] // MiB}MB",
+        derive=derive,
+    )
+    return SweepSpec(name, grids=[grid])
+
+
+def figure12_spec(data_per_rank: int = 256 * MiB, steps_cap: int = 512) -> SweepSpec:
     """Performance-model validation, No-Preserve mode (Figure 12).
 
     The paper uses 1,568 simulation cores + 784 analysis cores, 2 GiB of data
@@ -102,97 +131,127 @@ def figure12_configs(
     three synthetic applications; ``data_per_rank`` scales the per-rank volume
     down for laptop runs.
     """
-    configs = []
-    for block in (1 * MiB, 8 * MiB):
-        for complexity in ("O(n)", "O(nlogn)", "O(n^1.5)"):
-            cfg = _perf_model_base(complexity, block, data_per_rank, False, steps_cap)
-            configs.append((cfg.label, cfg))
-    return configs
+    return _perf_model_spec("figure12", data_per_rank, False, steps_cap)
 
 
-def figure13_configs(
-    data_per_rank: int = 256 * MiB, steps_cap: int = 512
-) -> List[Tuple[str, WorkflowConfig]]:
+def figure13_spec(data_per_rank: int = 256 * MiB, steps_cap: int = 512) -> SweepSpec:
     """Performance-model validation, Preserve mode (Figure 13)."""
-    configs = []
-    for block in (1 * MiB, 8 * MiB):
-        for complexity in ("O(n)", "O(nlogn)", "O(n^1.5)"):
-            cfg = _perf_model_base(complexity, block, data_per_rank, True, steps_cap)
-            configs.append((cfg.label, cfg))
-    return configs
+    return _perf_model_spec("figure13", data_per_rank, True, steps_cap)
 
 
-def figure14_configs(
+def figure14_spec(
     data_per_rank: int = 256 * MiB,
     core_counts: Iterable[int] = SYNTHETIC_SCALING_CORES,
-) -> List[Tuple[str, WorkflowConfig]]:
+) -> SweepSpec:
     """Concurrent message+file transfer optimisation (Figures 14 and 15).
 
     For each synthetic application and core count, two configurations are
     produced: the message-passing-only baseline and the concurrent (work
     stealing) optimisation.
     """
-    configs = []
-    for complexity in ("O(n)", "O(nlogn)", "O(n^1.5)"):
-        workload = synthetic_workload(complexity, 1 * MiB, data_per_rank=data_per_rank)
-        for cores in core_counts:
-            for concurrent in (False, True):
-                label = f"{complexity}/{cores}/{'concurrent' if concurrent else 'mpi-only'}"
-                configs.append(
-                    (
-                        label,
-                        WorkflowConfig(
-                            workload=workload,
-                            cluster=bridges(),
-                            transport="zipper",
-                            total_cores=cores,
-                            sim_core_fraction=2.0 / 3.0,
-                            representative_sim_ranks=8,
-                            block_bytes=1 * MiB,
-                            concurrent_transfer=concurrent,
-                            label=label,
-                        ),
-                    )
-                )
-    return configs
-
-
-def _scalability_configs(workload_factory, steps: int, transports: Tuple[str, ...]):
-    configs = []
-    for cores in SCALABILITY_CORE_COUNTS:
-        for transport in transports:
-            workload = workload_factory(steps=steps)
-            label = f"{workload.name}/{cores}/{transport}"
-            configs.append(
-                (
-                    label,
-                    WorkflowConfig(
-                        workload=workload,
-                        cluster=stampede2(),
-                        transport=transport,
-                        total_cores=cores,
-                        sim_core_fraction=2.0 / 3.0,
-                        representative_sim_ranks=8,
-                        steps=steps,
-                        label=label,
-                    ),
-                )
+    base = WorkflowConfig(
+        workload=synthetic_workload("O(n)", 1 * MiB, data_per_rank=data_per_rank),
+        cluster=bridges(),
+        transport="zipper",
+        sim_core_fraction=2.0 / 3.0,
+        representative_sim_ranks=8,
+        block_bytes=1 * MiB,
+        trace=False,
+    )
+    grid = ParamGrid(
+        base,
+        axes=[
+            ("complexity", SYNTHETIC_COMPLEXITIES),
+            ("total_cores", tuple(core_counts)),
+            ("concurrent_transfer", (False, True)),
+        ],
+        label=lambda p: (
+            f"{p['complexity']}/{p['total_cores']}/"
+            f"{'concurrent' if p['concurrent_transfer'] else 'mpi-only'}"
+        ),
+        derive=lambda p: {
+            "workload": synthetic_workload(
+                p["complexity"], 1 * MiB, data_per_rank=data_per_rank
             )
-    return configs
+        },
+    )
+    return SweepSpec("figure14", grids=[grid])
+
+
+def _scalability_spec(
+    name: str,
+    workload_factory,
+    steps: int,
+    core_counts: Iterable[int],
+    transports: Tuple[str, ...],
+) -> SweepSpec:
+    workload = workload_factory(steps=steps)
+    base = WorkflowConfig(
+        workload=workload,
+        cluster=stampede2(),
+        sim_core_fraction=2.0 / 3.0,
+        representative_sim_ranks=8,
+        steps=steps,
+        trace=False,
+    )
+    grid = ParamGrid(
+        base,
+        axes=[("total_cores", tuple(core_counts)), ("transport", transports)],
+        label=lambda p, _name=workload.name: f"{_name}/{p['total_cores']}/{p['transport']}",
+    )
+    return SweepSpec(name, grids=[grid])
+
+
+def figure16_spec(
+    steps: int = 30,
+    core_counts: Iterable[int] = SCALABILITY_CORE_COUNTS,
+    transports: Tuple[str, ...] = SCALABILITY_TRANSPORTS,
+) -> SweepSpec:
+    """CFD weak scaling on Stampede2 (Figure 16): MPI-IO, Flexpath, Decaf, Zipper, none."""
+    return _scalability_spec("figure16", cfd_workload, steps, core_counts, transports)
+
+
+def figure18_spec(
+    steps: int = 30,
+    core_counts: Iterable[int] = SCALABILITY_CORE_COUNTS,
+    transports: Tuple[str, ...] = SCALABILITY_TRANSPORTS,
+) -> SweepSpec:
+    """LAMMPS weak scaling on Stampede2 (Figure 18)."""
+    return _scalability_spec("figure18", lammps_workload, steps, core_counts, transports)
+
+
+# -- legacy (label, config) list API, kept for the bench drivers -------------
+def figure2_configs(
+    steps: int = 30, representative_sim_ranks: int = 8
+) -> List[Tuple[str, WorkflowConfig]]:
+    return figure2_spec(steps, representative_sim_ranks).configs()
+
+
+def figure12_configs(
+    data_per_rank: int = 256 * MiB, steps_cap: int = 512
+) -> List[Tuple[str, WorkflowConfig]]:
+    return figure12_spec(data_per_rank, steps_cap).configs()
+
+
+def figure13_configs(
+    data_per_rank: int = 256 * MiB, steps_cap: int = 512
+) -> List[Tuple[str, WorkflowConfig]]:
+    return figure13_spec(data_per_rank, steps_cap).configs()
+
+
+def figure14_configs(
+    data_per_rank: int = 256 * MiB,
+    core_counts: Iterable[int] = SYNTHETIC_SCALING_CORES,
+) -> List[Tuple[str, WorkflowConfig]]:
+    return figure14_spec(data_per_rank, core_counts).configs()
 
 
 def figure16_configs(steps: int = 30) -> List[Tuple[str, WorkflowConfig]]:
-    """CFD weak scaling on Stampede2 (Figure 16): MPI-IO, Flexpath, Decaf, Zipper, none."""
-    return _scalability_configs(
-        cfd_workload, steps, ("mpiio", "flexpath", "decaf", "zipper", "none")
-    )
+    return figure16_spec(steps).configs()
 
 
 def figure18_configs(steps: int = 30) -> List[Tuple[str, WorkflowConfig]]:
-    """LAMMPS weak scaling on Stampede2 (Figure 18)."""
-    return _scalability_configs(
-        lammps_workload, steps, ("mpiio", "flexpath", "decaf", "zipper", "none")
-    )
+    return figure18_spec(steps).configs()
 
 
 def trace_config(
@@ -217,8 +276,10 @@ def trace_config(
     )
 
 
-def run_all(configs: List[Tuple[str, WorkflowConfig]]) -> Dict[str, object]:
-    """Convenience helper running every config (used by tests of the bench layer)."""
-    from repro.workflow.runner import run_workflow
+def run_all(
+    configs: List[Tuple[str, WorkflowConfig]], workers: int = 0
+) -> Dict[str, WorkflowResult]:
+    """Run every config through the sweep engine (serially unless ``workers`` > 1)."""
+    from repro.sweep.runner import SweepRunner
 
-    return {label: run_workflow(cfg) for label, cfg in configs}
+    return SweepRunner(workers=workers).run_labelled(configs)

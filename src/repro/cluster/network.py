@@ -26,6 +26,7 @@ but captures the phenomena the paper's analysis rests on:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
@@ -139,10 +140,25 @@ class Network:
         self.scale_penalty = float(scale_penalty)
         self.jitter_cv = float(jitter_cv)
 
+        # The scale-dependent factors depend only on spec and total_nodes, both
+        # fixed after construction, so they are computed once: congestion_scale
+        # sits on the per-transfer hot path.
+        leaves = self.total_nodes / spec.ports_per_leaf
+        self._congestion_scale = 1.0 + 0.45 * max(0.0, math.log2(max(1.0, leaves)))
+        self._fabric_efficiency = 1.0 / (
+            1.0 + self.scale_penalty * math.log2(max(1.0, leaves) + 1.0)
+        )
+        nominal_core_share = (
+            spec.core_link_bandwidth * spec.core_links_per_leaf / spec.ports_per_leaf
+        )
+        self._core_share = (
+            min(spec.link_bandwidth, nominal_core_share) * self._fabric_efficiency
+        )
+
         self._inject: Dict[int, PortState] = {}
         self._eject: Dict[int, PortState] = {}
         self._core: Dict[int, PortState] = {}
-        core_share = self.core_share_per_node()
+        core_share = self._core_share
         for node in range(num_nodes):
             self._inject[node] = PortState(
                 f"node{node}.tx", spec.link_bandwidth, counters_id=f"node{node}"
@@ -163,10 +179,7 @@ class Network:
         Grows with the number of leaf switches the represented job spans;
         jobs confined to a single leaf see no amplification.
         """
-        import math
-
-        leaves = self.total_nodes / self.spec.ports_per_leaf
-        return 1.0 + 0.45 * max(0.0, math.log2(max(1.0, leaves)))
+        return self._congestion_scale
 
     def fabric_efficiency(self) -> float:
         """Scale-dependent efficiency of the core fabric (1.0 for tiny jobs).
@@ -174,19 +187,11 @@ class Network:
         Larger jobs span more leaf switches; adaptive-routing collisions and
         longer paths reduce the usable fraction of the nominal core bandwidth.
         """
-        import math
-
-        leaves = max(1.0, self.total_nodes / self.spec.ports_per_leaf)
-        return 1.0 / (1.0 + self.scale_penalty * math.log2(leaves + 1.0))
+        return self._fabric_efficiency
 
     def core_share_per_node(self) -> float:
         """Per-node share of core-fabric bandwidth, after taper and scale effects."""
-        nominal = (
-            self.spec.core_link_bandwidth
-            * self.spec.core_links_per_leaf
-            / self.spec.ports_per_leaf
-        )
-        return min(self.spec.link_bandwidth, nominal) * self.fabric_efficiency()
+        return self._core_share
 
     def node_leaf(self, node: int) -> int:
         """Leaf switch index hosting ``node``.
@@ -248,7 +253,7 @@ class Network:
         # Effective rates are frozen at issue time from the current loads;
         # the loads are then raised for the duration of the transfer so that
         # later flows see this one.
-        cscale = self.congestion_scale()
+        cscale = self._congestion_scale
         rates = [s.effective_rate(spec, congestion_weight, cscale) for s in stages]
         bottleneck = min(rates)
 
@@ -257,7 +262,15 @@ class Network:
         queued = t_tx_start - now
         t_rx_start = max(t_tx_start + spec.latency, rx.busy_until)
         drain_time = nbytes / bottleneck
-        finish = t_rx_start + spec.per_message_overhead + drain_time
+        # Jitter is applied to the *service* portion only, before the finish
+        # time is frozen: the queueing delay is set by when the ports free, so
+        # jittering it too could move finish before the predecessor's finish
+        # and break the FIFO invariant.  With the jittered service folded in
+        # here, busy_until, the yielded duration and the TransferResult all
+        # agree on the same completion time.
+        service = self._jittered(spec.per_message_overhead + drain_time, "fabric")
+        finish = t_rx_start + service
+        duration = finish - now
         # Backpressure: the source cannot consider the message "sent" before
         # the slowest stage has drained it.
         ideal_tx_done = t_tx_start + nbytes / rates[0]
@@ -274,11 +287,13 @@ class Network:
         rx_port.record_receive(nbytes)
         tx_port.record_wait(queued + stalled, spec.link_bandwidth, spec.flit_bytes)
 
-        duration = self._jittered(finish - now, "fabric")
-        yield Timeout(env, duration)
-
-        for stage in stages:
-            stage.load = max(0.0, stage.load - congestion_weight)
+        try:
+            yield Timeout(env, duration)
+        finally:
+            # Runs even when the transfer's process is interrupted or killed,
+            # otherwise the port keeps phantom congestion load forever.
+            for stage in stages:
+                stage.load = max(0.0, stage.load - congestion_weight)
 
         result = TransferResult(
             src, dst, nbytes, start, env.now, queued, stalled, flow

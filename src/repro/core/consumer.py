@@ -25,7 +25,7 @@ import time
 from typing import Iterator, Optional, Set, Tuple
 
 from repro.core.blocks import BlockId, DataBlock
-from repro.core.buffers import ConsumerBuffer
+from repro.core.buffers import BufferClosed, ConsumerBuffer
 from repro.core.channels import FileChannel, NetworkChannel
 from repro.core.config import ZipperConfig
 from repro.core.stats import RuntimeStats
@@ -155,36 +155,46 @@ class ConsumerRuntime:
     # -- helper threads ------------------------------------------------------
     def _receiver_loop(self) -> None:
         expected_eofs = self.config.num_producers
-        while True:
-            message = self.network.recv(timeout=_POLL_INTERVAL)
-            if message is None:
-                continue
-            for block_id in message.disk_ids:
-                self._read_queue.put(block_id)
-            if message.block is not None:
-                self._admit(message.block)
-                self.stats.add("blocks_received_network", 1)
-            if message.eof:
-                self._eof_count += 1
-                if self._eof_count >= expected_eofs:
-                    break
-        # All producers finished: after the reader drains the pending
-        # file-path IDs, the stream is complete.
-        self._read_queue.put(_SENTINEL)
+        try:
+            while True:
+                message = self.network.recv(timeout=_POLL_INTERVAL)
+                if message is None:
+                    continue
+                for block_id in message.disk_ids:
+                    self._read_queue.put(block_id)
+                if message.block is not None:
+                    self._admit(message.block)
+                    self.stats.add("blocks_received_network", 1)
+                if message.eof:
+                    self._eof_count += 1
+                    if self._eof_count >= expected_eofs:
+                        break
+        except BufferClosed:
+            # The session was aborted while this thread was delivering into
+            # the consumer buffer; stop pumping and let the reader exit too.
+            pass
+        finally:
+            # All producers finished (or the session aborted): after the
+            # reader drains the pending file-path IDs, the stream is complete.
+            self._read_queue.put(_SENTINEL)
 
     def _reader_loop(self) -> None:
-        while True:
-            item = self._read_queue.get()
-            if item is _SENTINEL:
-                break
-            start = time.perf_counter()
-            block = self.file_channel.read(item)
-            self.stats.add("reader_busy_time", time.perf_counter() - start)
-            self.stats.add("blocks_received_file", 1)
-            self._admit(block)
-        self.buffer.close()
-        self._output_queue.put(_SENTINEL)
-        self._stopped = True
+        try:
+            while True:
+                item = self._read_queue.get()
+                if item is _SENTINEL:
+                    break
+                start = time.perf_counter()
+                block = self.file_channel.read(item)
+                self.stats.add("reader_busy_time", time.perf_counter() - start)
+                self.stats.add("blocks_received_file", 1)
+                self._admit(block)
+        except BufferClosed:
+            pass
+        finally:
+            self.buffer.close()
+            self._output_queue.put(_SENTINEL)
+            self._stopped = True
 
     def _admit(self, block: DataBlock) -> None:
         self.buffer.put(block)

@@ -22,7 +22,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -91,6 +91,19 @@ class Zipper:
             self._tempdir.cleanup()
             self._tempdir = None
 
+    def abort(self) -> None:
+        """Emergency shutdown used when one side of the coupling has failed.
+
+        Closes and drains the producer buffer — releasing a producer blocked
+        in ``write`` on a full buffer — and closes the consumer buffer —
+        releasing the receiver thread (blocked delivering into it) and any
+        ``read`` caller.  Undelivered blocks are dropped; the session cannot
+        be used afterwards.
+        """
+        self.producer.buffer.close()
+        self.producer.buffer.drain()
+        self.consumer.buffer.close()
+
     def __enter__(self) -> "Zipper":
         return self.start()
 
@@ -134,6 +147,7 @@ def zip_applications(
     produce: Callable[[ProducerRuntime], Any],
     analyze: Callable[[ConsumerRuntime], Any],
     config: Optional[ZipperConfig] = None,
+    shutdown_timeout: float = 60.0,
 ) -> ZipperResult:
     """Run a producer callable and a consumer callable coupled through Zipper.
 
@@ -143,54 +157,85 @@ def zip_applications(
     ``consumer.blocks()``.  Both run concurrently on separate threads; the
     producer runtime is finalized automatically when ``produce`` returns.
 
-    Any exception raised by either callable is re-raised here after both
-    threads have stopped.
+    The first exception raised by either callable is re-raised here after
+    both threads have stopped.  On that first error the session is aborted
+    (buffers closed and drained) so the *other* side cannot stay blocked on a
+    full or empty buffer — a raising consumer used to leave a producer stuck
+    in ``ProducerBuffer.put`` forever — and every join is bounded by
+    ``shutdown_timeout``.
     """
     session = Zipper(config)
     outcome: Dict[str, Any] = {}
-    errors: Dict[str, BaseException] = {}
+    errors: List[BaseException] = []
+    errors_lock = threading.Lock()
+
+    def record_error(exc: BaseException) -> None:
+        with errors_lock:
+            first = not errors
+            errors.append(exc)
+        if first:
+            # Unblock whichever peer thread is parked on a full/empty buffer
+            # so the bounded joins below succeed instead of deadlocking.
+            session.abort()
 
     def produce_wrapper() -> None:
         start = time.perf_counter()
         try:
             outcome["producer"] = produce(session.producer)
         except BaseException as exc:  # noqa: BLE001 - reported to the caller
-            errors["producer"] = exc
+            record_error(exc)
         finally:
             outcome["producer_time"] = time.perf_counter() - start
             try:
                 session.finalize_producer()
             except BaseException as exc:  # noqa: BLE001
-                errors.setdefault("producer", exc)
+                record_error(exc)
 
     def analyze_wrapper() -> None:
         start = time.perf_counter()
         try:
             outcome["consumer"] = analyze(session.consumer)
         except BaseException as exc:  # noqa: BLE001
-            errors["consumer"] = exc
+            record_error(exc)
         finally:
             outcome["consumer_time"] = time.perf_counter() - start
 
     start = time.perf_counter()
     session.start()
-    producer_thread = threading.Thread(target=produce_wrapper, name="zipper-app-producer")
-    consumer_thread = threading.Thread(target=analyze_wrapper, name="zipper-app-consumer")
+    producer_thread = threading.Thread(
+        target=produce_wrapper, name="zipper-app-producer", daemon=True
+    )
+    consumer_thread = threading.Thread(
+        target=analyze_wrapper, name="zipper-app-consumer", daemon=True
+    )
     producer_thread.start()
     consumer_thread.start()
-    producer_thread.join()
-    consumer_thread.join()
-    session.consumer.join()
+    producer_thread.join(shutdown_timeout)
+    consumer_thread.join(shutdown_timeout)
+    stuck = producer_thread.is_alive() or consumer_thread.is_alive()
+    if stuck:
+        record_error(
+            RuntimeError(
+                "zip_applications application threads failed to stop within "
+                f"{shutdown_timeout}s"
+            )
+        )
+    else:
+        try:
+            session.consumer.join(timeout=shutdown_timeout)
+        except RuntimeError as exc:
+            record_error(exc)
     end_to_end = time.perf_counter() - start
     stats = session.stats.snapshot()
     session_config = session.config
-    if session._tempdir is not None:
+    if session._tempdir is not None and not stuck:
         session._tempdir.cleanup()
         session._tempdir = None
 
     if errors:
-        # Prefer the producer error (it usually causes the consumer one).
-        raise errors.get("producer", next(iter(errors.values())))
+        # Re-raise the *first* error: a failure on one side routinely causes
+        # secondary BufferClosed errors on the other once the session aborts.
+        raise errors[0]
 
     return ZipperResult(
         end_to_end_time=end_to_end,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Generator, List, Optional, Tuple
 
@@ -34,6 +34,8 @@ class Environment:
     such as process initialisation and interrupts run before normal events),
     then by insertion order, which keeps the simulation fully deterministic.
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "_events_processed")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -80,11 +82,15 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Place ``event`` on the queue ``delay`` time units in the future."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        # Hot path: every timeout, message and process resumption goes through
+        # here, so the zero-delay common case skips the float comparison work.
+        if delay:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay!r}")
+            when = self._now + delay
+        else:
+            when = self._now
+        heappush(self._queue, (when, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
@@ -94,15 +100,15 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to its time)."""
-        try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        if not self._queue:
+            raise EmptySchedule()
+        when, _prio, _eid, event = heappop(self._queue)
 
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
         if callbacks is None:
             raise SimulationError(f"{event!r} was scheduled twice")
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
         self._events_processed += 1

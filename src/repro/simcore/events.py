@@ -46,7 +46,12 @@ class Event:
        value (success) or exception (failure);
     3. *processed* — the environment has reached the event's time and invoked
        its callbacks.
+
+    Events are allocated on every timeout, message and process step of a
+    simulation, so the whole hierarchy uses ``__slots__``.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
         self.env = env
@@ -140,6 +145,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after its creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
@@ -160,6 +167,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a newly created :class:`Process`."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
         super().__init__(env)
         self._ok = True
@@ -170,6 +179,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Internal event used to deliver an :class:`~repro.simcore.errors.Interrupt`."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any):
         super().__init__(process.env)
@@ -206,6 +217,8 @@ class Process(Event):
     A ``Process`` is itself an :class:`Event` that triggers when the generator
     returns (successfully, with the return value) or raises (failure).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):  # noqa: F821
         if not hasattr(generator, "throw"):
@@ -292,6 +305,8 @@ class ConditionEvent(Event):
     event to its value, in the order the children were supplied.
     """
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: "Environment",  # noqa: F821
@@ -342,12 +357,16 @@ class ConditionEvent(Event):
 class AllOf(ConditionEvent):
     """Triggers when *all* child events have triggered (``MPI_Waitall``-like)."""
 
+    __slots__ = ()
+
     def __init__(self, env, events: Iterable[Event]):
         super().__init__(env, lambda evs, count: count >= len(evs), events)
 
 
 class AnyOf(ConditionEvent):
     """Triggers when *any* child event has triggered (``MPI_Waitany``-like)."""
+
+    __slots__ = ()
 
     def __init__(self, env, events: Iterable[Event]):
         super().__init__(env, lambda evs, count: count >= 1 or not evs, events)

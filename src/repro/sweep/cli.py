@@ -1,0 +1,134 @@
+"""Command-line sweep driver: ``python -m repro.sweep``.
+
+Runs a (possibly downsized) figure sweep through the parallel runner and
+prints one summary row per scenario.  Used by CI as a smoke test of the
+multiprocessing path and by hand for quick scaling studies, e.g.::
+
+    PYTHONPATH=src python -m repro.sweep figure2 --steps 4 --sim-ranks 4 --workers 2
+    PYTHONPATH=src python -m repro.sweep figure16 --steps 3 --cores 204,408 \
+        --workers 4 --store results/figure16.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.sweep.runner import SweepRecord, SweepRunner
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["main", "build_spec", "FIGURES"]
+
+MiB = 1024 * 1024
+
+#: Figure sweeps addressable from the command line.
+FIGURES = ("figure2", "figure12", "figure13", "figure14", "figure16", "figure18")
+
+
+def build_spec(args: argparse.Namespace) -> SweepSpec:
+    """Instantiate the requested figure spec with the CLI's downsizing knobs."""
+    from repro.bench import experiments
+
+    try:
+        cores = tuple(int(c) for c in args.cores.split(",")) if args.cores else None
+    except ValueError:
+        raise SystemExit(
+            f"error: --cores expects comma-separated integers, got {args.cores!r}"
+        ) from None
+    if args.figure == "figure2":
+        return experiments.figure2_spec(
+            steps=args.steps, representative_sim_ranks=args.sim_ranks
+        )
+    if args.figure in ("figure12", "figure13"):
+        factory = (
+            experiments.figure12_spec
+            if args.figure == "figure12"
+            else experiments.figure13_spec
+        )
+        return factory(data_per_rank=args.data_mib * MiB, steps_cap=args.steps_cap)
+    kwargs = {"core_counts": cores} if cores else {}
+    if args.figure == "figure14":
+        return experiments.figure14_spec(data_per_rank=args.data_mib * MiB, **kwargs)
+    factory = (
+        experiments.figure16_spec
+        if args.figure == "figure16"
+        else experiments.figure18_spec
+    )
+    return factory(steps=args.steps, **kwargs)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Run one of the paper's figure sweeps through the parallel sweep engine.",
+    )
+    parser.add_argument("figure", choices=FIGURES, help="which figure's scenario grid to run")
+    parser.add_argument("--workers", type=int, default=0, help="worker processes (0 = serial)")
+    parser.add_argument("--steps", type=int, default=4, help="workflow steps per scenario")
+    parser.add_argument("--steps-cap", type=int, default=64, help="step cap for figure12/13")
+    parser.add_argument("--sim-ranks", type=int, default=4, help="representative simulation ranks")
+    parser.add_argument("--data-mib", type=int, default=32, help="per-rank MiB for the synthetic figures")
+    parser.add_argument("--cores", default="", help="comma-separated core counts (figure14/16/18)")
+    parser.add_argument("--store", default="", help="JSONL result store path (enables resume)")
+    parser.add_argument("--trace", action="store_true", help="keep tracing enabled (slower)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    spec = build_spec(args)
+
+    def progress(record: SweepRecord, done: int, total: int) -> None:
+        status = "skip" if record.skipped else ("ERROR" if not record.ok else "ok")
+        print(f"[{done}/{total}] {record.label:<32s} {status} ({record.elapsed:.2f}s)", flush=True)
+
+    runner = SweepRunner(
+        workers=args.workers,
+        store=args.store or None,
+        trace=True if args.trace else False,
+        progress=progress,
+    )
+    start = time.perf_counter()
+    records = runner.run(spec)
+    wall = time.perf_counter() - start
+
+    from repro.bench.report import format_table
+
+    rows = []
+    for record in records:
+        if record.result is not None:
+            summary = record.result
+            end_to_end = summary.end_to_end_time
+            failed = summary.failed
+        else:
+            end_to_end = float(record.summary.get("end_to_end_time", float("nan")))
+            failed = bool(record.summary.get("failed", not record.ok))
+        rows.append(
+            [
+                record.label,
+                "skipped" if record.skipped else ("error" if not record.ok else "run"),
+                round(end_to_end, 2),
+                "FAILED" if failed else "",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["label", "status", "end-to-end (s)", ""],
+            rows,
+            title=f"{spec.name}: {len(records)} scenarios, workers={args.workers}, wall={wall:.1f}s",
+        )
+    )
+    errored = [r for r in records if not r.ok]
+    if errored:
+        print(f"\n{len(errored)} scenario(s) crashed:", file=sys.stderr)
+        for record in errored:
+            print(f"--- {record.label}\n{record.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,264 @@
+"""Fan sweep cases out over worker processes, with isolation and resume.
+
+The runner executes every :class:`~repro.sweep.spec.SweepCase` of a spec —
+serially in-process (``workers=0``) or across a ``multiprocessing`` pool —
+and yields one :class:`SweepRecord` per case.  Guarantees:
+
+* **Determinism** — each case gets a seed derived from its base seed and its
+  label (not from its position or its worker), so parallel and serial runs of
+  the same sweep produce identical results under ``deterministic=True``.
+* **Failure isolation** — a modelled :class:`~repro.transports.base.TransportFault`
+  yields a result with ``failed=True`` (as the paper reports Decaf's overflow),
+  and an outright crash in one scenario yields an errored record; neither
+  kills the rest of the sweep.
+* **Resume** — with a :class:`~repro.sweep.store.ResultStore` attached,
+  scenarios whose ``(label, config-hash)`` key is already recorded are skipped
+  and their stored summary is surfaced instead of being re-run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sweep.spec import SweepCase, SweepSpec
+from repro.sweep.store import ResultStore, result_payload
+from repro.workflow.config import WorkflowConfig
+from repro.workflow.result import WorkflowResult
+
+__all__ = ["SweepRecord", "SweepRunner", "run_cases", "run_labelled", "derive_case_seed"]
+
+#: Anything accepted as the work list of a sweep run.
+Cases = Union[SweepSpec, Sequence[SweepCase], Sequence[Tuple[str, WorkflowConfig]]]
+
+ProgressCallback = Callable[["SweepRecord", int, int], None]
+
+
+def derive_case_seed(base_seed: int, label: str) -> int:
+    """Per-case seed, stable across runs and independent of execution order."""
+    h = 1469598103934665603  # FNV-1a offset basis
+    for byte in label.encode("utf-8"):
+        h ^= byte
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return (int(base_seed) ^ h) % (2**31 - 1) + 1
+
+
+@dataclass
+class SweepRecord:
+    """Outcome of one sweep case.
+
+    ``ok`` is False only when the scenario *crashed* (an unexpected exception
+    escaped the workflow runner); a modelled transport fault is a successful
+    record whose result has ``failed=True``.
+    """
+
+    label: str
+    config_hash: str
+    seed: int
+    ok: bool = True
+    skipped: bool = False
+    error: str = ""
+    elapsed: float = 0.0
+    result: Optional[WorkflowResult] = None
+    #: Stored summary for records resumed from a result store.
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """Whether the scenario is unusable (crashed or modelled failure)."""
+        if not self.ok:
+            return True
+        if self.result is not None:
+            return self.result.failed
+        return bool(self.summary.get("failed", False))
+
+    def payload(self) -> Dict[str, object]:
+        """The JSON-safe line written to a result store."""
+        record: Dict[str, object] = {
+            "label": self.label,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "ok": self.ok,
+            "error": self.error,
+            "elapsed": self.elapsed,
+        }
+        if self.result is not None:
+            record.update(result_payload(self.result))
+        return record
+
+
+def _execute_case(payload: Tuple[int, str, str, WorkflowConfig]) -> Tuple[int, SweepRecord]:
+    """Run one case; module-level so worker processes can unpickle it."""
+    index, label, digest, config = payload
+    from repro.workflow.runner import run_workflow
+
+    record = SweepRecord(label=label, config_hash=digest, seed=config.seed)
+    start = time.perf_counter()
+    try:
+        record.result = run_workflow(config)
+    except Exception:  # noqa: BLE001 - one bad scenario must not kill the sweep
+        record.ok = False
+        record.error = traceback.format_exc(limit=8)
+    record.elapsed = time.perf_counter() - start
+    return index, record
+
+
+class SweepRunner:
+    """Execute a sweep, optionally across a process pool and against a store.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` (or ``1``) runs in-process and serially; ``n > 1`` fans out over
+        an ``n``-process pool.  ``None`` uses the machine's CPU count.
+    store:
+        Optional :class:`ResultStore` (or path) recording every executed case
+        and providing resume.
+    reseed:
+        Derive a per-case seed from the config's seed and the case label
+        (default).  Disable to run every case with its config's seed verbatim.
+    trace:
+        ``None`` leaves each config's ``trace`` flag untouched; ``True`` /
+        ``False`` overrides it sweep-wide (sweeps default the flag off via the
+        bench specs, since traces dominate pickling and memory cost).
+    progress:
+        Callback ``(record, done, total)`` invoked as records arrive
+        (completion order under a pool, case order when serial).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 0,
+        store: Union[ResultStore, str, None] = None,
+        reseed: bool = True,
+        trace: Optional[bool] = None,
+        progress: Optional[ProgressCallback] = None,
+        mp_context: Optional[str] = None,
+    ):
+        if workers is None:
+            workers = multiprocessing.cpu_count()
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = int(workers)
+        self.store = ResultStore(store) if isinstance(store, (str,)) else store
+        self.reseed = reseed
+        self.trace = trace
+        self.progress = progress
+        self.mp_context = mp_context
+
+    # -- preparation -------------------------------------------------------
+    @staticmethod
+    def _as_cases(cases: Cases) -> List[SweepCase]:
+        if isinstance(cases, SweepSpec):
+            return cases.cases()
+        out: List[SweepCase] = []
+        for case in cases:
+            out.append(case if isinstance(case, SweepCase) else SweepCase(*case))
+        return out
+
+    def _prepare(self, case: SweepCase) -> SweepCase:
+        config = case.config
+        changes: Dict[str, object] = {}
+        if self.trace is not None and config.trace != self.trace:
+            changes["trace"] = self.trace
+        if self.reseed:
+            seed = derive_case_seed(config.seed, case.label)
+            if seed != config.seed:
+                changes["seed"] = seed
+        return SweepCase(case.label, config.replace(**changes)) if changes else case
+
+    # -- execution ---------------------------------------------------------
+    def run(self, cases: Cases) -> List[SweepRecord]:
+        """Run (or resume) the sweep; records are returned in case order."""
+        prepared = [self._prepare(case) for case in self._as_cases(cases)]
+        total = len(prepared)
+        done = 0
+        records: List[Optional[SweepRecord]] = [None] * total
+
+        # One pass over the store: the latest intact record per resume key
+        # (crashed records are excluded so a re-run retries them).
+        stored: Dict[Tuple[str, str], Dict[str, object]] = {}
+        if self.store is not None:
+            for rec in self.store.iter_records():
+                if rec.get("ok", True):
+                    key = (str(rec["label"]), str(rec.get("config_hash", "")))
+                    stored[key] = rec
+
+        pending: List[Tuple[int, str, str, WorkflowConfig]] = []
+        for index, case in enumerate(prepared):
+            digest = case.config_digest
+            if (case.label, digest) in stored:
+                record = SweepRecord(
+                    label=case.label,
+                    config_hash=digest,
+                    seed=case.config.seed,
+                    skipped=True,
+                    summary=stored[(case.label, digest)],
+                )
+                records[index] = record
+                done += 1
+                if self.progress is not None:
+                    self.progress(record, done, total)
+            else:
+                pending.append((index, case.label, digest, case.config))
+
+        def _collect(index: int, record: SweepRecord) -> None:
+            nonlocal done
+            records[index] = record
+            done += 1
+            if self.store is not None and not record.skipped:
+                self.store.append(record.payload())
+            if self.progress is not None:
+                self.progress(record, done, total)
+
+        if self.workers > 1 and len(pending) > 1:
+            ctx = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context
+                else multiprocessing.get_context()
+            )
+            with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
+                for index, record in pool.imap_unordered(_execute_case, pending):
+                    _collect(index, record)
+        else:
+            for payload in pending:
+                index, record = _execute_case(payload)
+                _collect(index, record)
+
+        return [r for r in records if r is not None]
+
+    def run_labelled(self, cases: Cases) -> Dict[str, WorkflowResult]:
+        """Run the sweep and return ``{label: WorkflowResult}`` per executed case.
+
+        A case that *crashed* (as opposed to a modelled transport fault, which
+        yields a result with ``failed=True``) raises here with its captured
+        traceback — callers of this convenience index the dict by label, and a
+        silently missing key would bury the real error.  Skipped (resumed)
+        cases carry no in-memory result and are omitted; use :meth:`run` when
+        the per-record status matters.
+        """
+        records = self.run(cases)
+        crashed = [r for r in records if not r.ok]
+        if crashed:
+            raise RuntimeError(
+                f"{len(crashed)} sweep case(s) crashed; first was "
+                f"{crashed[0].label!r}:\n{crashed[0].error}"
+            )
+        return {
+            record.label: record.result
+            for record in records
+            if record.result is not None
+        }
+
+
+def run_cases(cases: Cases, workers: int = 0, **kwargs) -> List[SweepRecord]:
+    """One-shot convenience around :class:`SweepRunner.run`."""
+    return SweepRunner(workers=workers, **kwargs).run(cases)
+
+
+def run_labelled(cases: Cases, workers: int = 0, **kwargs) -> Dict[str, WorkflowResult]:
+    """One-shot convenience around :class:`SweepRunner.run_labelled`."""
+    return SweepRunner(workers=workers, **kwargs).run_labelled(cases)

@@ -1,0 +1,95 @@
+"""JSON-lines persistence for sweep results, with resume support.
+
+Each completed scenario is appended as one self-contained JSON object, so a
+store survives crashes mid-sweep (at worst the final, partially written line
+is discarded on load).  A record carries the resume key ``(label, config_hash)``
+plus a flat summary of the :class:`~repro.workflow.result.WorkflowResult` —
+enough to feed :mod:`repro.bench.report` tables without re-running anything.
+Traces are deliberately not persisted; re-run the single scenario of interest
+with ``trace=True`` to regenerate one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.workflow.result import WorkflowResult
+
+__all__ = ["ResultStore", "result_payload"]
+
+
+def result_payload(result: WorkflowResult) -> Dict[str, object]:
+    """Flatten a workflow result into the JSON-safe summary stored per line."""
+    return {
+        "transport": result.transport,
+        "end_to_end_time": result.end_to_end_time,
+        "simulation_only_time": result.simulation_only_time,
+        "breakdown": result.breakdown.as_dict(),
+        "stats": {k: float(v) for k, v in result.stats.items()},
+        "xmit_wait": result.xmit_wait,
+        "total_cores": result.total_cores,
+        "block_bytes": result.block_bytes,
+        "failed": result.failed,
+        "failure_reason": result.failure_reason,
+    }
+
+
+class ResultStore:
+    """Append-only JSONL store of sweep records keyed by ``(label, config_hash)``."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def __repr__(self) -> str:
+        return f"<ResultStore {str(self.path)!r}>"
+
+    # -- reading -----------------------------------------------------------
+    def iter_records(self) -> Iterator[Dict[str, object]]:
+        """Yield every intact record in file order (corrupt lines are skipped)."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and "label" in record:
+                    yield record
+
+    def load(self) -> List[Dict[str, object]]:
+        return list(self.iter_records())
+
+    def completed_keys(self) -> Set[Tuple[str, str]]:
+        """Resume keys of every scenario already recorded as executed.
+
+        Scenarios recorded as *errored* (the worker crashed, as opposed to a
+        modelled :class:`~repro.transports.base.TransportFault` failure) are
+        not treated as completed, so a re-run retries them.
+        """
+        keys: Set[Tuple[str, str]] = set()
+        for record in self.iter_records():
+            if record.get("ok", True):
+                keys.add((str(record["label"]), str(record.get("config_hash", ""))))
+        return keys
+
+    def get(self, label: str, config_hash: str) -> Optional[Dict[str, object]]:
+        """The most recent record for a resume key, or ``None``."""
+        found: Optional[Dict[str, object]] = None
+        for record in self.iter_records():
+            if record.get("label") == label and record.get("config_hash") == config_hash:
+                found = record
+        return found
+
+    # -- writing -----------------------------------------------------------
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one already-flattened record as a single JSON line."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()

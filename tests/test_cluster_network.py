@@ -7,7 +7,7 @@ import pytest
 from repro.cluster import Cluster, CounterRegistry, Network, PortCounters
 from repro.cluster.presets import bridges, laptop
 from repro.cluster.spec import NetworkSpec
-from repro.simcore import Environment
+from repro.simcore import Environment, Interrupt, RandomStreams, Timeout
 
 
 def make_network(num_nodes=4, total_nodes=None, **spec_kwargs):
@@ -205,3 +205,94 @@ class TestClusterFacade:
         assert cluster.node_of_rank(2, ranks_per_node=2) == 1
         with pytest.raises(ValueError):
             cluster.node_of_rank(0, ranks_per_node=0)
+
+
+class TestTransferRobustness:
+    """Regression tests for the port-load leak and the jitter bookkeeping bug."""
+
+    def test_interrupted_transfer_restores_port_load(self):
+        env, net = make_network()
+        nbytes = 100 * 1024 * 1024  # ~8 ms on the fabric: plenty to interrupt
+
+        def victim():
+            try:
+                yield from net.transfer(0, 1, nbytes)
+            except Interrupt:
+                pass
+
+        proc = env.process(victim())
+
+        def killer():
+            yield Timeout(env, 1e-4)
+            proc.interrupt("link failure")
+
+        env.process(killer())
+        env.run()
+        # The cleanup after the yield must run even on interrupt, otherwise
+        # the port keeps phantom congestion load forever.
+        assert net.port_load(0) == pytest.approx(0.0)
+        assert net.port_load(1) == pytest.approx(0.0)
+
+    def test_failed_transfer_process_restores_port_load(self):
+        env, net = make_network()
+
+        def doomed():
+            try:
+                yield from net.transfer(0, 1, 100 * 1024 * 1024)
+            except Interrupt:
+                raise RuntimeError("rank died mid-transfer")
+
+        proc = env.process(doomed())
+
+        def killer():
+            yield Timeout(env, 1e-4)
+            proc.interrupt("nic reset")
+
+        env.process(killer())
+        with pytest.raises(RuntimeError, match="rank died"):
+            env.run()
+        assert net.port_load(0) == pytest.approx(0.0)
+
+    def test_jittered_transfer_keeps_port_bookkeeping_consistent(self):
+        env = Environment()
+        net = Network(
+            env,
+            NetworkSpec(),
+            num_nodes=4,
+            rng=RandomStreams(7),
+            jitter_cv=0.5,
+        )
+        result = run_transfer(env, net, 0, 1, 32 * 1024 * 1024)
+        # The jitter draw must be folded in before the finish time is frozen,
+        # so the FIFO availability of every stage agrees with simulated time.
+        assert result.finish == env.now
+        assert net._inject[0].busy_until == pytest.approx(result.finish)
+        assert net._eject[1].busy_until == pytest.approx(result.finish)
+
+    def test_jitter_actually_perturbs_durations(self):
+        base = run_transfer(*make_network(), 0, 1, 32 * 1024 * 1024)
+        env = Environment()
+        net = Network(env, NetworkSpec(), num_nodes=4, rng=RandomStreams(7), jitter_cv=0.5)
+        jittered = run_transfer(env, net, 0, 1, 32 * 1024 * 1024)
+        assert jittered.duration != base.duration
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_queued_senders_keep_fifo_order_under_jitter(self, seed):
+        env = Environment()
+        net = Network(env, NetworkSpec(), num_nodes=4, rng=RandomStreams(seed), jitter_cv=0.5)
+        results = []
+
+        def sender(i):
+            r = yield from net.transfer(0, 1, 16 * 1024 * 1024)
+            results.append((i, r))
+
+        for i in range(4):
+            env.process(sender(i))
+        env.run()
+        ordered = [r for _, r in sorted(results)]
+        # Only the service time is jittered, never the queueing delay, so a
+        # later message can never finish before the one it queued behind —
+        # for any seed, not just a lucky one.
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later.finish >= earlier.finish
+            assert later.queued > 0

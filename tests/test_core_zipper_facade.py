@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -125,3 +127,63 @@ class TestZipperSession:
             pass
         session.close()
         assert not spill.exists()
+
+
+class TestErrorShutdown:
+    """Regression tests: a failing side must abort the session, not deadlock it."""
+
+    def test_raising_consumer_unblocks_stalled_producer(self):
+        """A consumer that dies while the producer is blocked on a full buffer.
+
+        Before the abort-on-first-error fix the producer stayed parked in
+        ``ProducerBuffer.put`` forever (nothing drained the buffer once the
+        consumer was gone) and ``zip_applications`` hung in ``join``.
+        """
+        config = ZipperConfig(
+            block_size=1024,
+            producer_buffer_blocks=2,
+            high_water_mark=2,  # no work stealing: nothing else drains the buffer
+            concurrent_transfer=False,
+            consumer_buffer_blocks=2,  # the dead consumer stops draining this
+            network_bandwidth=64 * 1024,  # slow sender so the buffer stays full
+        )
+
+        def eager_producer(writer):
+            for index in range(64):
+                writer.write(BlockId(0, 0, index), np.zeros(256))
+
+        def dying_consumer(reader):
+            reader.read(timeout=5.0)
+            raise ValueError("analysis failed hard")
+
+        start = time.perf_counter()
+        with pytest.raises(ValueError, match="analysis failed hard"):
+            zip_applications(eager_producer, dying_consumer, config, shutdown_timeout=30.0)
+        # Promptly: well under the shutdown timeout, not a 60 s join hang.
+        assert time.perf_counter() - start < 20.0
+
+    def test_immediately_raising_consumer_reports_its_error(self):
+        def dying_consumer(reader):
+            raise ValueError("analysis refused to start")
+
+        with pytest.raises(ValueError, match="refused to start"):
+            zip_applications(
+                simple_producer(steps=8, blocks_per_step=8),
+                dying_consumer,
+                ZipperConfig(
+                    block_size=1024,
+                    producer_buffer_blocks=4,
+                    high_water_mark=4,
+                    consumer_buffer_blocks=2,
+                ),
+                shutdown_timeout=30.0,
+            )
+
+    def test_successful_runs_are_unaffected_by_bounded_joins(self):
+        result = zip_applications(
+            simple_producer(steps=2, blocks_per_step=2),
+            counting_analysis(),
+            ZipperConfig(block_size=1024),
+            shutdown_timeout=30.0,
+        )
+        assert result.consumer_result.blocks_consumed == 4

@@ -1,0 +1,314 @@
+"""Tests of the parallel scenario-sweep engine (grids, runner, store)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.apps.costs import MiB, cfd_workload
+from repro.bench.experiments import (
+    FIGURE2_TRANSPORTS,
+    SCALABILITY_CORE_COUNTS,
+    figure2_configs,
+    figure12_configs,
+    figure13_configs,
+    figure14_configs,
+    figure16_configs,
+    figure16_spec,
+    run_all,
+)
+from repro.cluster.presets import laptop, stampede2
+from repro.sweep import (
+    ParamGrid,
+    ResultStore,
+    SweepCase,
+    SweepRunner,
+    SweepSpec,
+    config_hash,
+    derive_case_seed,
+    run_cases,
+)
+from repro.workflow import WorkflowConfig
+
+
+def small_config(**overrides) -> WorkflowConfig:
+    defaults = dict(
+        workload=cfd_workload(steps=2),
+        cluster=laptop(),
+        transport="zipper",
+        total_cores=16,
+        representative_sim_ranks=2,
+        steps=2,
+        trace=False,
+    )
+    defaults.update(overrides)
+    return WorkflowConfig(**defaults)
+
+
+class TestParamGrid:
+    def test_product_order_leftmost_slowest(self):
+        grid = ParamGrid(
+            small_config(),
+            axes=[("total_cores", (16, 32)), ("transport", ("zipper", "none"))],
+            label="{total_cores}/{transport}",
+        )
+        labels = [case.label for case in grid]
+        assert labels == ["16/zipper", "16/none", "32/zipper", "32/none"]
+        assert len(grid) == 4
+
+    def test_axis_values_applied_to_configs(self):
+        grid = ParamGrid(
+            small_config(),
+            axes={"block_bytes": (1 * MiB, 2 * MiB)},
+            label=lambda p: f"{p['block_bytes'] // MiB}MB",
+        )
+        cases = list(grid)
+        assert [c.config.block_bytes for c in cases] == [1 * MiB, 2 * MiB]
+        # The case label is copied into the config for results to carry.
+        assert [c.config.label for c in cases] == ["1MB", "2MB"]
+
+    def test_machine_axis_resolves_presets(self):
+        grid = ParamGrid(
+            small_config(),
+            axes=[("machine", ("laptop", "stampede2"))],
+            label="{machine}",
+        )
+        clusters = [case.config.cluster for case in grid]
+        assert clusters == [laptop(), stampede2()]
+
+    def test_unknown_machine_rejected(self):
+        grid = ParamGrid(small_config(), axes=[("machine", ("atlantis",))], label="{machine}")
+        with pytest.raises(ValueError, match="unknown machine"):
+            list(grid)
+
+    def test_non_config_axis_requires_derive(self):
+        with pytest.raises(ValueError, match="derive"):
+            ParamGrid(small_config(), axes=[("complexity", ("O(n)",))], label="{complexity}")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            ParamGrid(small_config(), axes=[("transport", ())], label="{transport}")
+
+    def test_derive_consumes_virtual_axes(self):
+        grid = ParamGrid(
+            small_config(),
+            axes=[("doubled", (1, 2))],
+            label="x{doubled}",
+            derive=lambda p: {"steps": 2 * p["doubled"]},
+        )
+        assert [c.config.steps for c in grid] == [2, 4]
+
+    def test_derive_output_typos_are_rejected(self):
+        grid = ParamGrid(
+            small_config(),
+            axes=[("block", (1 * MiB,))],
+            label="{block}",
+            derive=lambda p: {"block_byte": p["block"]},  # typo'd field name
+        )
+        with pytest.raises(ValueError, match="block_byte"):
+            list(grid)
+
+
+class TestSweepSpec:
+    def test_duplicate_labels_rejected(self):
+        spec = SweepSpec("dup", cases=[("a", small_config()), ("a", small_config())])
+        with pytest.raises(ValueError, match="duplicate"):
+            spec.cases()
+
+    def test_configs_returns_label_config_pairs(self):
+        spec = SweepSpec("one", cases=[("only", small_config())])
+        [(label, config)] = spec.configs()
+        assert label == "only" and config.transport == "zipper"
+
+
+class TestLegacyGridParity:
+    """The declarative grids must reproduce the hand-rolled loops label-for-label."""
+
+    def test_figure2_labels(self):
+        labels = [l for l, _ in figure2_configs(steps=3)]
+        assert labels == list(FIGURE2_TRANSPORTS) + ["zipper", "none"]
+
+    def test_figure12_labels_and_fields(self):
+        expected = [
+            "O(n)/1MB",
+            "O(nlogn)/1MB",
+            "O(n^1.5)/1MB",
+            "O(n)/8MB",
+            "O(nlogn)/8MB",
+            "O(n^1.5)/8MB",
+        ]
+        configs = figure12_configs(data_per_rank=16 * MiB)
+        assert [l for l, _ in configs] == expected
+        assert all(not cfg.preserve for _, cfg in configs)
+        assert [cfg.block_bytes for _, cfg in configs[:3]] == [1 * MiB] * 3
+        assert [cfg.block_bytes for _, cfg in configs[3:]] == [8 * MiB] * 3
+
+    def test_figure13_is_preserve_mode(self):
+        assert all(cfg.preserve for _, cfg in figure13_configs(data_per_rank=16 * MiB))
+
+    def test_figure14_labels_pair_modes(self):
+        configs = figure14_configs(data_per_rank=16 * MiB, core_counts=(84, 168))
+        expected = [
+            f"{complexity}/{cores}/{mode}"
+            for complexity in ("O(n)", "O(nlogn)", "O(n^1.5)")
+            for cores in (84, 168)
+            for mode in ("mpi-only", "concurrent")
+        ]
+        assert [l for l, _ in configs] == expected
+        by_label = dict(configs)
+        assert by_label["O(n)/84/concurrent"].concurrent_transfer
+        assert not by_label["O(n)/84/mpi-only"].concurrent_transfer
+
+    def test_figure16_labels(self):
+        expected = [
+            f"cfd/{cores}/{transport}"
+            for cores in SCALABILITY_CORE_COUNTS
+            for transport in ("mpiio", "flexpath", "decaf", "zipper", "none")
+        ]
+        assert [l for l, _ in figure16_configs(steps=3)] == expected
+
+
+class TestConfigHash:
+    def test_stable_for_equal_configs(self):
+        assert config_hash(small_config()) == config_hash(small_config())
+
+    def test_changes_with_any_parameter(self):
+        base = small_config()
+        assert config_hash(base) != config_hash(base.replace(block_bytes=2 * MiB))
+        assert config_hash(base) != config_hash(base.replace(transport="none"))
+
+    def test_case_seed_is_label_dependent_and_stable(self):
+        assert derive_case_seed(1, "a") == derive_case_seed(1, "a")
+        assert derive_case_seed(1, "a") != derive_case_seed(1, "b")
+        assert derive_case_seed(1, "a") != derive_case_seed(2, "a")
+
+
+def _downsized_figure16() -> SweepSpec:
+    """A small Figure-16 grid that still contains Decaf's modelled crash."""
+    return figure16_spec(steps=3, core_counts=(204, 13056), transports=("decaf", "zipper", "none"))
+
+
+def _assert_same_results(a, b):
+    assert set(a) == set(b)
+    for label in a:
+        ra, rb = a[label], b[label]
+        assert ra.failed == rb.failed
+        if ra.failed:
+            assert math.isnan(ra.end_to_end_time) and math.isnan(rb.end_to_end_time)
+        else:
+            assert ra.end_to_end_time == rb.end_to_end_time
+        assert ra.breakdown == rb.breakdown
+        assert ra.stats == rb.stats
+        assert ra.xmit_wait == rb.xmit_wait
+
+
+class TestSweepRunner:
+    def test_parallel_equals_serial_deterministic(self):
+        spec = _downsized_figure16()
+        serial = SweepRunner(workers=0, trace=False).run_labelled(spec)
+        parallel = SweepRunner(workers=4, trace=False).run_labelled(spec)
+        assert len(serial) == 6
+        _assert_same_results(serial, parallel)
+        # The modelled Decaf overflow surfaces as a failed record, not a crash.
+        assert serial["cfd/13056/decaf"].failed
+        assert not serial["cfd/204/decaf"].failed
+
+    def test_matches_legacy_run_all(self):
+        spec = _downsized_figure16()
+        _assert_same_results(
+            SweepRunner(workers=0, trace=False).run_labelled(spec),
+            {l: r for l, r in run_all(spec.configs()).items()},
+        )
+
+    def test_crash_is_isolated_to_its_record(self):
+        # The unknown transport makes the workflow runner raise outright —
+        # unlike a modelled TransportFault — which must not kill the sweep.
+        cases = [
+            SweepCase("good", small_config()),
+            SweepCase("bad", small_config(transport="no-such-transport")),
+        ]
+        records = run_cases(cases)
+        by_label = {r.label: r for r in records}
+        assert by_label["good"].ok and by_label["good"].result is not None
+        assert not by_label["bad"].ok
+        assert "no-such-transport" in by_label["bad"].error
+        assert by_label["bad"].failed
+
+    def test_run_labelled_raises_on_crashed_case(self):
+        # The dict-returning convenience must fail loudly, not drop the label.
+        cases = [("bad", small_config(transport="no-such-transport"))]
+        with pytest.raises(RuntimeError, match="no-such-transport"):
+            SweepRunner(workers=0).run_labelled(cases)
+
+    def test_figure_specs_disable_tracing(self):
+        # Sweeps pickle results across the pool; traces would dominate that.
+        for _, config in _downsized_figure16().configs():
+            assert not config.trace
+
+    def test_progress_callback_sees_every_case(self):
+        seen = []
+        runner = SweepRunner(
+            workers=0, trace=False, progress=lambda rec, done, total: seen.append((rec.label, done, total))
+        )
+        runner.run([("only", small_config())])
+        assert seen == [("only", 1, 1)]
+
+    def test_reseed_is_deterministic_but_per_label(self):
+        records = run_cases(
+            [("a", small_config()), ("b", small_config())], workers=0, trace=False
+        )
+        seeds = {r.label: r.seed for r in records}
+        assert seeds["a"] != seeds["b"]
+        again = run_cases([("a", small_config())], workers=0, trace=False)
+        assert again[0].seed == seeds["a"]
+
+
+class TestResultStoreResume:
+    def test_resume_skips_completed_runs(self, tmp_path):
+        store_path = tmp_path / "sweep.jsonl"
+        spec = _downsized_figure16()
+
+        first = SweepRunner(workers=0, store=ResultStore(store_path), trace=False).run(spec)
+        assert all(not r.skipped for r in first)
+        lines_after_first = store_path.read_text().count("\n")
+        assert lines_after_first == len(first)
+
+        second = SweepRunner(workers=0, store=ResultStore(store_path), trace=False).run(spec)
+        assert all(r.skipped for r in second)
+        assert store_path.read_text().count("\n") == lines_after_first
+        # Skipped records surface the stored summary, including failures.
+        by_label = {r.label: r for r in second}
+        assert by_label["cfd/13056/decaf"].failed
+        assert by_label["cfd/204/zipper"].summary["end_to_end_time"] > 0
+
+    def test_changed_config_is_rerun(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        SweepRunner(workers=0, store=store, trace=False).run([("case", small_config())])
+        changed = [("case", small_config(total_cores=32))]
+        records = SweepRunner(workers=0, store=store, trace=False).run(changed)
+        assert not records[0].skipped
+
+    def test_corrupt_trailing_line_is_ignored(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        SweepRunner(workers=0, store=store, trace=False).run([("case", small_config())])
+        with store.path.open("a") as fh:
+            fh.write('{"label": "truncated", "config_')
+        assert len(store.load()) == 1
+        assert {label for label, _ in store.completed_keys()} == {"case"}
+
+    def test_errored_records_are_retried(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        store.append({"label": "case", "config_hash": "deadbeef", "ok": False})
+        assert store.completed_keys() == set()
+
+    def test_payload_roundtrips_through_json(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        [record] = SweepRunner(workers=0, store=store, trace=False).run(
+            [("case", small_config())]
+        )
+        [loaded] = store.load()
+        assert loaded["label"] == "case"
+        assert loaded["end_to_end_time"] == pytest.approx(record.result.end_to_end_time)
+        assert json.dumps(loaded)  # stays JSON-serialisable
