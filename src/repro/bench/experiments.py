@@ -18,6 +18,7 @@ from repro.apps.costs import MiB, cfd_workload, lammps_workload, synthetic_workl
 from repro.cluster.presets import bridges, stampede2
 from repro.sweep.spec import ParamGrid, SweepSpec
 from repro.workflow.config import WorkflowConfig
+from repro.workflow.pipeline import CouplingSpec, PipelineSpec, StageSpec
 from repro.workflow.result import WorkflowResult
 
 __all__ = [
@@ -37,6 +38,10 @@ __all__ = [
     "figure14_configs",
     "figure16_configs",
     "figure18_configs",
+    "pipeline_chain",
+    "pipeline_fanout",
+    "pipeline_shapes_spec",
+    "pipeline_shapes_configs",
     "trace_config",
     "run_all",
 ]
@@ -218,6 +223,158 @@ def figure18_spec(
 ) -> SweepSpec:
     """LAMMPS weak scaling on Stampede2 (Figure 18)."""
     return _scalability_spec("figure18", lammps_workload, steps, core_counts, transports)
+
+
+# -- multi-stage pipeline scenario families -----------------------------------
+def pipeline_chain(
+    total_cores: int = 384,
+    steps: int = 8,
+    representative_sim_ranks: int = 8,
+    sim_to_analysis: str = "zipper",
+    analysis_to_viz: str = "dimes",
+    trace: bool = False,
+) -> PipelineSpec:
+    """Three-stage chain: CFD simulation → n-th moment analysis → visualization.
+
+    The analysis reduces the raw field to 1/16 of its volume (the moments) and
+    streams that reduction to a lightweight rendering stage; the two couplings
+    may use *different* transports, which is the whole point of the
+    stage-graph API.
+    """
+    workload = cfd_workload(steps=steps)
+    viz_workload = workload.replace(
+        analysis_seconds_per_byte=workload.analysis_seconds_per_byte * 4.0
+    )
+    return PipelineSpec(
+        stages=(
+            StageSpec(
+                "simulation",
+                workload,
+                representative_ranks=representative_sim_ranks,
+                total_ranks=max(2, (total_cores * 2) // 3),
+                role="producer",
+            ),
+            StageSpec(
+                "analysis",
+                workload,
+                representative_ranks=max(1, representative_sim_ranks // 2),
+                total_ranks=max(1, total_cores // 4),
+                role="analysis",
+                output_fraction=1.0 / 16.0,
+            ),
+            StageSpec(
+                "viz",
+                viz_workload,
+                representative_ranks=max(1, representative_sim_ranks // 4),
+                total_ranks=max(1, total_cores // 12),
+                role="visualization",
+            ),
+        ),
+        couplings=(
+            CouplingSpec("simulation", "analysis", transport=sim_to_analysis),
+            CouplingSpec("analysis", "viz", transport=analysis_to_viz),
+        ),
+        cluster=bridges(),
+        total_cores=total_cores,
+        steps=steps,
+        trace=trace,
+        label=f"chain/{total_cores}",
+    )
+
+
+def pipeline_fanout(
+    total_cores: int = 384,
+    steps: int = 8,
+    representative_sim_ranks: int = 8,
+    moments_transport: str = "zipper",
+    msd_transport: str = "flexpath",
+    trace: bool = False,
+) -> PipelineSpec:
+    """Fan-out: one simulation feeding two concurrent analyses.
+
+    The statistics branch (n-th moments) and the MSD branch consume the same
+    output stream over independent couplings with independent transports —
+    the ensembles/fan-out scenario the two-application runner could not express.
+    """
+    workload = cfd_workload(steps=steps)
+    # Only the MSD workload's analysis cost matters here: as a sink stage its
+    # consumed stream is sized by the simulation (coupling source), not by
+    # its own output_bytes_per_step.
+    msd_workload = lammps_workload(steps=steps)
+    return PipelineSpec(
+        stages=(
+            StageSpec(
+                "simulation",
+                workload,
+                representative_ranks=representative_sim_ranks,
+                total_ranks=max(2, (total_cores * 2) // 3),
+                role="producer",
+            ),
+            StageSpec(
+                "statistics",
+                workload,
+                representative_ranks=max(1, representative_sim_ranks // 2),
+                total_ranks=max(1, total_cores // 6),
+                role="analysis",
+            ),
+            StageSpec(
+                "msd",
+                msd_workload,
+                representative_ranks=max(1, representative_sim_ranks // 4),
+                total_ranks=max(1, total_cores // 6),
+                role="analysis",
+            ),
+        ),
+        couplings=(
+            CouplingSpec("simulation", "statistics", transport=moments_transport),
+            CouplingSpec("simulation", "msd", transport=msd_transport),
+        ),
+        cluster=bridges(),
+        total_cores=total_cores,
+        steps=steps,
+        trace=trace,
+        label=f"fanout/{total_cores}",
+    )
+
+
+#: Builders of the pipeline scenario families, addressable by shape name.
+PIPELINE_SHAPES = {"chain": pipeline_chain, "fanout": pipeline_fanout}
+
+
+def pipeline_shapes_spec(
+    steps: int = 6,
+    core_counts: Iterable[int] = (384, 768),
+    representative_sim_ranks: int = 8,
+) -> SweepSpec:
+    """Sweep the multi-stage scenario families over graph shapes × core counts."""
+    base = pipeline_chain(
+        steps=steps, representative_sim_ranks=representative_sim_ranks
+    )
+
+    def derive(params):
+        # Rebuild the whole graph for the shape/size: stages and couplings are
+        # plain PipelineSpec fields, so sweeping graph shapes is just another
+        # derive hook.
+        shape = PIPELINE_SHAPES[params["shape"]](
+            total_cores=params["total_cores"],
+            steps=steps,
+            representative_sim_ranks=representative_sim_ranks,
+        )
+        return {"stages": shape.stages, "couplings": shape.couplings}
+
+    grid = ParamGrid(
+        base,
+        axes=[("shape", tuple(PIPELINE_SHAPES)), ("total_cores", tuple(core_counts))],
+        label=lambda p: f"{p['shape']}/{p['total_cores']}",
+        derive=derive,
+    )
+    return SweepSpec("pipelines", grids=[grid])
+
+
+def pipeline_shapes_configs(
+    steps: int = 6, core_counts: Iterable[int] = (384, 768)
+) -> List[Tuple[str, PipelineSpec]]:
+    return pipeline_shapes_spec(steps, core_counts).configs()
 
 
 # -- legacy (label, config) list API, kept for the bench drivers -------------

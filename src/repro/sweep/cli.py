@@ -23,8 +23,17 @@ __all__ = ["main", "build_spec", "FIGURES"]
 
 MiB = 1024 * 1024
 
-#: Figure sweeps addressable from the command line.
-FIGURES = ("figure2", "figure12", "figure13", "figure14", "figure16", "figure18")
+#: Figure sweeps addressable from the command line ("pipelines" runs the
+#: multi-stage chain/fan-out scenario families through the pipeline API).
+FIGURES = (
+    "figure2",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure16",
+    "figure18",
+    "pipelines",
+)
 
 
 def build_spec(args: argparse.Namespace) -> SweepSpec:
@@ -40,6 +49,12 @@ def build_spec(args: argparse.Namespace) -> SweepSpec:
     if args.figure == "figure2":
         return experiments.figure2_spec(
             steps=args.steps, representative_sim_ranks=args.sim_ranks
+        )
+    if args.figure == "pipelines":
+        return experiments.pipeline_shapes_spec(
+            steps=args.steps,
+            core_counts=cores or (384, 768),
+            representative_sim_ranks=args.sim_ranks,
         )
     if args.figure in ("figure12", "figure13"):
         factory = (
@@ -70,7 +85,11 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--steps-cap", type=int, default=64, help="step cap for figure12/13")
     parser.add_argument("--sim-ranks", type=int, default=4, help="representative simulation ranks")
     parser.add_argument("--data-mib", type=int, default=32, help="per-rank MiB for the synthetic figures")
-    parser.add_argument("--cores", default="", help="comma-separated core counts (figure14/16/18)")
+    parser.add_argument(
+        "--cores",
+        default="",
+        help="comma-separated core counts (figure14/16/18 and pipelines)",
+    )
     parser.add_argument("--store", default="", help="JSONL result store path (enables resume)")
     parser.add_argument("--trace", action="store_true", help="keep tracing enabled (slower)")
     return parser

@@ -24,15 +24,14 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.sweep.spec import SweepCase, SweepSpec
+from repro.sweep.spec import AnyConfig, SweepCase, SweepSpec
 from repro.sweep.store import ResultStore, result_payload
-from repro.workflow.config import WorkflowConfig
 from repro.workflow.result import WorkflowResult
 
 __all__ = ["SweepRecord", "SweepRunner", "run_cases", "run_labelled", "derive_case_seed"]
 
 #: Anything accepted as the work list of a sweep run.
-Cases = Union[SweepSpec, Sequence[SweepCase], Sequence[Tuple[str, WorkflowConfig]]]
+Cases = Union[SweepSpec, Sequence[SweepCase], Sequence[Tuple[str, AnyConfig]]]
 
 ProgressCallback = Callable[["SweepRecord", int, int], None]
 
@@ -90,15 +89,20 @@ class SweepRecord:
         return record
 
 
-def _execute_case(payload: Tuple[int, str, str, WorkflowConfig]) -> Tuple[int, SweepRecord]:
+def _execute_case(payload: Tuple[int, str, str, AnyConfig]) -> Tuple[int, SweepRecord]:
     """Run one case; module-level so worker processes can unpickle it."""
     index, label, digest, config = payload
-    from repro.workflow.runner import run_workflow
+    from repro.workflow.pipeline import PipelineSpec
+    from repro.workflow.runner import run_pipeline, run_workflow
 
     record = SweepRecord(label=label, config_hash=digest, seed=config.seed)
     start = time.perf_counter()
     try:
-        record.result = run_workflow(config)
+        record.result = (
+            run_pipeline(config)
+            if isinstance(config, PipelineSpec)
+            else run_workflow(config)
+        )
     except Exception:  # noqa: BLE001 - one bad scenario must not kill the sweep
         record.ok = False
         record.error = traceback.format_exc(limit=8)
@@ -187,7 +191,7 @@ class SweepRunner:
                     key = (str(rec["label"]), str(rec.get("config_hash", "")))
                     stored[key] = rec
 
-        pending: List[Tuple[int, str, str, WorkflowConfig]] = []
+        pending: List[Tuple[int, str, str, AnyConfig]] = []
         for index, case in enumerate(prepared):
             digest = case.config_digest
             if (case.label, digest) in stored:

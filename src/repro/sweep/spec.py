@@ -8,11 +8,18 @@ an ordered set of axes, and a labelling rule.  :class:`SweepSpec` bundles one
 or more grids (plus any hand-picked cases) under a name, and expands them into
 the flat ``(label, config)`` list the runner and the legacy bench API consume.
 
-Axis values are applied through ``WorkflowConfig.replace``; axis names that
-are not config fields (e.g. a synthetic-workload complexity) are consumed by
-the grid's ``derive`` hook, which maps the full parameter assignment to extra
-config overrides (typically the workload object).  The special axis name
-``machine`` accepts a preset name from :mod:`repro.cluster.presets`.
+Axis values are applied through the base config's ``replace``; axis names
+that are not config fields (e.g. a synthetic-workload complexity) are
+consumed by the grid's ``derive`` hook, which maps the full parameter
+assignment to extra config overrides (typically the workload object).  The
+special axis name ``machine`` accepts a preset name from
+:mod:`repro.cluster.presets`.
+
+The base config may be a two-application
+:class:`~repro.workflow.config.WorkflowConfig` *or* a multi-stage
+:class:`~repro.workflow.pipeline.PipelineSpec` — pipeline grids can sweep
+over graph shapes by making ``stages``/``couplings`` overrides in a
+``derive`` hook.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 from repro.cluster.presets import bridges, laptop, stampede2
 from repro.cluster.spec import ClusterSpec
 from repro.workflow.config import WorkflowConfig
+from repro.workflow.pipeline import PipelineSpec
 
 __all__ = ["MACHINES", "ParamGrid", "SweepCase", "SweepSpec", "config_hash", "resolve_machine"]
 
@@ -36,7 +44,8 @@ MACHINES: Dict[str, Callable[[], ClusterSpec]] = {
     "laptop": laptop,
 }
 
-_CONFIG_FIELDS = frozenset(f.name for f in fields(WorkflowConfig))
+#: Anything a sweep case may carry as its configuration.
+AnyConfig = Union[WorkflowConfig, PipelineSpec]
 
 #: Axes consumed by the expansion machinery rather than ``replace`` directly.
 _VIRTUAL_AXES = frozenset({"machine"})
@@ -54,8 +63,8 @@ def resolve_machine(machine: Union[str, ClusterSpec]) -> ClusterSpec:
         ) from None
 
 
-def config_hash(config: WorkflowConfig) -> str:
-    """Stable, process-invariant digest of a workflow configuration.
+def config_hash(config: AnyConfig) -> str:
+    """Stable, process-invariant digest of a workflow or pipeline configuration.
 
     Used (together with the case label) as the resume key of the result store:
     a completed ``(label, hash)`` pair is skipped when a sweep is re-run, and a
@@ -71,7 +80,7 @@ class SweepCase:
 
     __slots__ = ("label", "config", "_hash")
 
-    def __init__(self, label: str, config: WorkflowConfig):
+    def __init__(self, label: str, config: AnyConfig):
         self.label = str(label)
         self.config = config
         self._hash: Optional[str] = None
@@ -102,7 +111,8 @@ class ParamGrid:
     Parameters
     ----------
     base:
-        Configuration every case starts from.
+        Configuration every case starts from (a :class:`WorkflowConfig` or a
+        :class:`~repro.workflow.pipeline.PipelineSpec`).
     axes:
         Ordered mapping (or sequence of pairs) ``name -> values``.  Expansion
         follows the given order with the *leftmost axis slowest*, matching the
@@ -121,23 +131,24 @@ class ParamGrid:
 
     def __init__(
         self,
-        base: WorkflowConfig,
+        base: AnyConfig,
         axes: Union[Dict[str, Sequence[Any]], Sequence[Tuple[str, Sequence[Any]]]],
         label: LabelRule,
         derive: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
     ):
         pairs = axes.items() if isinstance(axes, dict) else axes
         self.base = base
+        self._config_fields = frozenset(f.name for f in fields(type(base)))
         self.axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = tuple(
             (str(name), tuple(values)) for name, values in pairs
         )
         for name, values in self.axes:
             if not values:
                 raise ValueError(f"axis {name!r} has no values")
-            if name not in _CONFIG_FIELDS and name not in _VIRTUAL_AXES and derive is None:
+            if name not in self._config_fields and name not in _VIRTUAL_AXES and derive is None:
                 raise ValueError(
-                    f"axis {name!r} is not a WorkflowConfig field; supply a "
-                    "derive hook that consumes it"
+                    f"axis {name!r} is not a {type(base).__name__} field; supply "
+                    "a derive hook that consumes it"
                 )
         self.label = label
         self.derive = derive
@@ -163,19 +174,21 @@ class ParamGrid:
                 unknown = [
                     k
                     for k in derived
-                    if k not in _CONFIG_FIELDS and k not in _VIRTUAL_AXES and k != "label"
+                    if k not in self._config_fields
+                    and k not in _VIRTUAL_AXES
+                    and k != "label"
                 ]
                 if unknown:
                     raise ValueError(
-                        f"derive returned keys that are not WorkflowConfig fields: "
-                        f"{sorted(unknown)}"
+                        f"derive returned keys that are not {type(self.base).__name__} "
+                        f"fields: {sorted(unknown)}"
                     )
                 overrides.update(derived)
             machine = overrides.pop("machine", None)
             if machine is not None:
                 overrides["cluster"] = resolve_machine(machine)
             label = overrides.pop("label", None) or self._label_for(params)
-            overrides = {k: v for k, v in overrides.items() if k in _CONFIG_FIELDS}
+            overrides = {k: v for k, v in overrides.items() if k in self._config_fields}
             overrides["label"] = label
             yield SweepCase(label, self.base.replace(**overrides))
 
@@ -190,7 +203,7 @@ class SweepSpec:
         self,
         name: str,
         grids: Iterable[ParamGrid] = (),
-        cases: Iterable[Union[SweepCase, Tuple[str, WorkflowConfig]]] = (),
+        cases: Iterable[Union[SweepCase, Tuple[str, AnyConfig]]] = (),
     ):
         self.name = str(name)
         self.grids: List[ParamGrid] = list(grids)
@@ -202,7 +215,7 @@ class SweepSpec:
         self.grids.append(grid)
         return self
 
-    def add_case(self, label: str, config: WorkflowConfig) -> "SweepSpec":
+    def add_case(self, label: str, config: AnyConfig) -> "SweepSpec":
         self.extra_cases.append(SweepCase(label, config))
         return self
 
@@ -224,7 +237,7 @@ class SweepSpec:
             seen[case.label] = case.label
         return out
 
-    def configs(self) -> List[Tuple[str, WorkflowConfig]]:
+    def configs(self) -> List[Tuple[str, AnyConfig]]:
         """The legacy ``(label, config)`` list shape used by the bench layer."""
         return [(case.label, case.config) for case in self.cases()]
 

@@ -22,7 +22,7 @@ __all__ = ["ResultStore", "result_payload"]
 
 def result_payload(result: WorkflowResult) -> Dict[str, object]:
     """Flatten a workflow result into the JSON-safe summary stored per line."""
-    return {
+    payload: Dict[str, object] = {
         "transport": result.transport,
         "end_to_end_time": result.end_to_end_time,
         "simulation_only_time": result.simulation_only_time,
@@ -34,6 +34,19 @@ def result_payload(result: WorkflowResult) -> Dict[str, object]:
         "failed": result.failed,
         "failure_reason": result.failure_reason,
     }
+    if result.stage_breakdowns:
+        payload["stages"] = {
+            name: breakdown.as_dict()
+            for name, breakdown in result.stage_breakdowns.items()
+        }
+    if result.coupling_transports:
+        payload["couplings"] = dict(result.coupling_transports)
+        payload["coupling_stats"] = {
+            name: {k: float(v) for k, v in stats.items()}
+            for name, stats in result.coupling_stats.items()
+        }
+        payload["coupling_block_bytes"] = dict(result.coupling_block_bytes)
+    return payload
 
 
 class ResultStore:

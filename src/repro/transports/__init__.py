@@ -29,8 +29,10 @@ select it by name.
 from repro.transports.base import Transport, TransportFault
 from repro.transports.registry import (
     available_transports,
+    canonical_name,
     create_transport,
     register_transport,
+    transport_class,
 )
 from repro.transports.null import NullTransport
 from repro.transports.mpiio import MPIIOTransport
@@ -44,8 +46,10 @@ __all__ = [
     "Transport",
     "TransportFault",
     "available_transports",
+    "canonical_name",
     "create_transport",
     "register_transport",
+    "transport_class",
     "NullTransport",
     "MPIIOTransport",
     "DataSpacesTransport",

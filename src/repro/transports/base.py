@@ -46,9 +46,13 @@ class Transport(ABC):
     ``yield`` only simulation events (typically via ``yield from`` on cluster,
     communicator or file-system operations).
 
-    The context object (``ctx``) is a :class:`repro.workflow.context.WorkflowContext`;
-    transports use its placement, mapping, statistics and tracing helpers and
-    must not keep state outside ``self`` and ``ctx``.
+    The context object (``ctx``) is a
+    :class:`repro.workflow.context.CouplingContext` — one coupling's view of
+    the stage graph, in which ``sim_*`` names address the coupling's source
+    stage and ``analysis_*`` names its target stage.  Transports use its
+    placement, mapping, statistics and tracing helpers and must not keep
+    state outside ``self`` and ``ctx``, so one transport instance serves
+    exactly one coupling of one run.
     """
 
     #: Registry name (overridden by subclasses).
@@ -82,6 +86,16 @@ class Transport(ABC):
 
     def teardown(self, ctx) -> None:
         """Release any resources created in :meth:`setup`."""
+
+    def consumer_deliveries_per_step(self, ctx, arank: int) -> int:
+        """How many times :meth:`consumer_run` calls ``analyze`` per step.
+
+        Forwarding stages of a multi-stage pipeline use this to detect when a
+        step has been fully consumed and may be re-emitted downstream.  The
+        coarse-grain baselines deliver one aggregated payload per step (the
+        default); fine-grain transports override it.
+        """
+        return 1
 
     # -- helpers shared by implementations ---------------------------------
     def transfer_sim_to_analysis(

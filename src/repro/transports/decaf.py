@@ -75,8 +75,11 @@ class DecafTransport(Transport):
             if self.element_bytes is not None
             else getattr(ctx.workload, "element_bytes", 8)
         )
+        # Size the redistribution from what the coupling actually carries per
+        # step in the *full* job (mid-pipeline stages may forward a reduced or
+        # aggregated stream), not from the raw workload output.
         elements_per_step = (
-            ctx.total_sim_ranks * ctx.workload.output_bytes_per_step / element_bytes
+            ctx.total_sim_ranks * ctx.represented_step_output_bytes() / element_bytes
         )
         if elements_per_step > INT_OVERFLOW_ELEMENTS:
             raise TransportFault(

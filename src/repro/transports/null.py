@@ -29,3 +29,7 @@ class NullTransport(Transport):
 
     def consumer_run(self, ctx, arank: int, analyze: Callable[[int, int], Generator]) -> Generator:
         return empty_generator()
+
+    def consumer_deliveries_per_step(self, ctx, arank: int) -> int:
+        """Nothing is ever delivered, so nothing can be forwarded downstream."""
+        return 0

@@ -6,7 +6,13 @@ from typing import Callable, Dict, List, Type
 
 from repro.transports.base import Transport
 
-__all__ = ["register_transport", "create_transport", "available_transports"]
+__all__ = [
+    "register_transport",
+    "create_transport",
+    "transport_class",
+    "available_transports",
+    "canonical_name",
+]
 
 _REGISTRY: Dict[str, Callable[..., Transport]] = {}
 
@@ -48,16 +54,23 @@ def canonical_name(name: str) -> str:
     return _ALIASES.get(key, key)
 
 
-def create_transport(name: str, **kwargs) -> Transport:
-    """Instantiate the transport registered under ``name`` (aliases accepted)."""
+def transport_class(name: str) -> Callable[..., Transport]:
+    """The implementation registered under ``name`` (aliases accepted)."""
     key = canonical_name(name)
     if key not in _REGISTRY:
         raise KeyError(
             f"unknown transport {name!r}; available: {', '.join(sorted(_REGISTRY))}"
         )
-    return _REGISTRY[key](**kwargs)
+    return _REGISTRY[key]
 
 
-def available_transports() -> List[str]:
-    """Sorted list of canonical transport names."""
+def create_transport(name: str, **kwargs) -> Transport:
+    """Instantiate the transport registered under ``name`` (aliases accepted)."""
+    return transport_class(name)(**kwargs)
+
+
+def available_transports(include_aliases: bool = False) -> List[str]:
+    """Sorted list of canonical transport names (optionally with aliases)."""
+    if include_aliases:
+        return sorted(set(_REGISTRY) | set(_ALIASES))
     return sorted(_REGISTRY)

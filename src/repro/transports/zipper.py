@@ -259,6 +259,10 @@ class ZipperTransport(Transport):
         yield cstate.output_done.wait()
         ctx.stats[f"consumer_{arank}_blocks"] = analyzed
 
+    def consumer_deliveries_per_step(self, ctx, arank: int) -> int:
+        """Zipper delivers per fine-grain block, not per aggregated step."""
+        return len(ctx.producers_of(arank)) * ctx.blocks_per_step()
+
     def teardown(self, ctx) -> None:
         self._producers.clear()
         self._consumers.clear()

@@ -1,33 +1,57 @@
-"""Simulated scientific workflows: a producer application coupled to an analysis.
+"""Simulated scientific workflows: stage graphs coupled through I/O transports.
 
 This package glues together the cluster substrate (:mod:`repro.cluster`), the
-simulated MPI layer (:mod:`repro.simmpi`), a workload cost model
-(:mod:`repro.apps.costs`) and an I/O transport (:mod:`repro.transports`) into
-one executable workflow run — the thing every figure in the paper's evaluation
-measures.
+simulated MPI layer (:mod:`repro.simmpi`), workload cost models
+(:mod:`repro.apps.costs`) and the I/O transports (:mod:`repro.transports`)
+into one executable workflow run — the thing every figure in the paper's
+evaluation measures.
 
-The central entry point is :func:`run_workflow` (or the underlying
-:class:`WorkflowRunner`), which returns a :class:`WorkflowResult` containing
-the end-to-end time, per-stage breakdowns, stall/lock/barrier accounting,
-network counters and, when requested, a full trace.
+Workflows are declared as a :class:`PipelineSpec`: a validated DAG of
+:class:`StageSpec` nodes (one per application) joined by :class:`CouplingSpec`
+edges, each edge with its own transport, block size and buffering policy.
+:func:`run_pipeline` (or :class:`PipelineRunner`) executes the graph and
+returns a :class:`WorkflowResult` with end-to-end time, per-stage and
+per-coupling breakdowns, stall/lock/barrier accounting, network counters and,
+when requested, a full trace.
 
-Large jobs are simulated with a *representative subset* of ranks
-(:class:`WorkflowConfig.representative_sim_ranks`); per-rank resource shares
-and collective costs are derived from the full job size so that weak-scaling
+The historical two-application API — :class:`WorkflowConfig`,
+:class:`WorkflowRunner` and :func:`run_workflow` — remains as a shim that
+lowers to a two-stage pipeline (``WorkflowConfig.to_pipeline()``).
+
+Large jobs are simulated with a *representative subset* of ranks per stage
+(:class:`StageSpec.representative_ranks`); per-rank resource shares and
+collective costs are derived from the full job size so that weak-scaling
 behaviour (Figures 14–18) is preserved.
 """
 
 from repro.workflow.config import WorkflowConfig
-from repro.workflow.context import WorkflowContext
+from repro.workflow.context import CouplingContext, PipelineContext, WorkflowContext
+from repro.workflow.pipeline import CouplingSpec, PipelineSpec, StageSpec, lower_config
 from repro.workflow.result import WorkflowResult, StageBreakdown
-from repro.workflow.runner import WorkflowRunner, run_workflow, simulation_only_time
+from repro.workflow.runner import (
+    PipelineRunner,
+    WorkflowRunner,
+    pipeline_simulation_only_time,
+    run_pipeline,
+    run_workflow,
+    simulation_only_time,
+)
 
 __all__ = [
     "WorkflowConfig",
     "WorkflowContext",
+    "CouplingContext",
+    "PipelineContext",
+    "StageSpec",
+    "CouplingSpec",
+    "PipelineSpec",
+    "lower_config",
     "WorkflowResult",
     "StageBreakdown",
     "WorkflowRunner",
+    "PipelineRunner",
     "run_workflow",
+    "run_pipeline",
     "simulation_only_time",
+    "pipeline_simulation_only_time",
 ]

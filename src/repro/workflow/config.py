@@ -127,3 +127,9 @@ class WorkflowConfig:
 
     def replace(self, **changes) -> "WorkflowConfig":
         return replace(self, **changes)
+
+    def to_pipeline(self):
+        """Lower to the equivalent two-stage :class:`~repro.workflow.pipeline.PipelineSpec`."""
+        from repro.workflow.pipeline import lower_config
+
+        return lower_config(self)

@@ -52,8 +52,21 @@ class WorkflowResult:
     #: lock wait time, barrier time, blocks stolen, ...).
     stats: Dict[str, float] = field(default_factory=dict)
     #: Per-simulation-rank counters (stall_time, transfer_busy_time, ...).
+    #: For multi-stage pipelines these views cover the first source stage and
+    #: the last sink stage; ``stage_rank_stats`` has every stage.
     sim_rank_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
     analysis_rank_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: Per-stage, per-rank counters, keyed by stage name.
+    stage_rank_stats: Dict[str, Dict[int, Dict[str, float]]] = field(default_factory=dict)
+    #: Per-stage breakdown (each stage's own compute/transfer/analysis/store/stall).
+    stage_breakdowns: Dict[str, StageBreakdown] = field(default_factory=dict)
+    #: Per-coupling statistics channels, keyed by coupling name ("src->dst").
+    coupling_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Transport actually used on each coupling, keyed by coupling name.
+    coupling_transports: Dict[str, str] = field(default_factory=dict)
+    #: Effective block size of each coupling (``block_bytes`` holds the common
+    #: value, or 0 when couplings disagree).
+    coupling_block_bytes: Dict[str, int] = field(default_factory=dict)
     #: Sum of the XmitWait counter over all ports, scaled to the full job.
     xmit_wait: float = 0.0
     #: The full trace (``None`` when tracing was disabled).
@@ -102,3 +115,21 @@ class WorkflowResult:
         if self.failed:
             parts.append(f"FAILED({self.failure_reason})")
         return "  ".join(parts)
+
+    def stage_summary(self) -> str:
+        """One line per stage (and coupling), for multi-stage pipeline runs."""
+        lines = []
+        for name, b in self.stage_breakdowns.items():
+            lines.append(
+                f"  stage {name:<14s} compute={b.simulation:7.2f}s "
+                f"transfer={b.transfer:7.2f}s analysis={b.analysis:7.2f}s "
+                f"store={b.store:7.2f}s stall={b.stall:7.2f}s"
+            )
+        for name, transport in self.coupling_transports.items():
+            stats = self.coupling_stats.get(name, {})
+            lines.append(
+                f"  coupling {name:<22s} via {transport:<14s} "
+                f"net={stats.get('bytes_network', 0.0) / 1e6:9.1f}MB "
+                f"file={stats.get('bytes_file', 0.0) / 1e6:9.1f}MB"
+            )
+        return "\n".join(lines)

@@ -1,21 +1,48 @@
-"""Execute one simulated workflow and collect its results."""
+"""Execute one simulated workflow (a stage/coupling pipeline) and collect results.
+
+:class:`PipelineRunner` is the general engine: it builds the modelled cluster
+from the union of the stage placements, instantiates one transport per
+coupling, spawns one rank-process family per stage and runs the discrete-event
+simulation to completion.  Stage processes come in two shapes:
+
+* *source* stages (no inbound coupling) run the simulation compute loop —
+  phase kernels, halo exchanges — and put each step's output into every
+  outbound coupling;
+* *consuming* stages run each inbound coupling's ``consumer_run`` loop,
+  charging their workload's per-byte analysis cost for every delivery, and —
+  when they also have outbound couplings — forward each fully-consumed step
+  downstream, which is how sim → analysis → visualization chains pipeline.
+
+:class:`WorkflowRunner` is the legacy two-application API, now a thin shim
+that lowers its :class:`~repro.workflow.config.WorkflowConfig` to a two-stage
+pipeline and delegates.
+"""
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import replace
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, Iterable, List, Optional
 
 from repro.cluster.machine import Cluster
 from repro.cluster.spec import ClusterSpec
-from repro.simcore import AllOf
+from repro.simcore import AllOf, Container
 from repro.trace import Tracer
 from repro.transports.base import Transport, TransportFault
 from repro.transports.registry import create_transport
 from repro.workflow.config import WorkflowConfig
-from repro.workflow.context import WorkflowContext
+from repro.workflow.context import CouplingContext, PipelineContext, PipelinePlacement
+from repro.workflow.pipeline import PipelineSpec, lower_config
 from repro.workflow.result import StageBreakdown, WorkflowResult
 
-__all__ = ["WorkflowRunner", "run_workflow", "simulation_only_time"]
+__all__ = [
+    "PipelineRunner",
+    "WorkflowRunner",
+    "run_pipeline",
+    "run_workflow",
+    "simulation_only_time",
+    "pipeline_simulation_only_time",
+]
 
 
 def simulation_only_time(config: WorkflowConfig) -> float:
@@ -24,21 +51,59 @@ def simulation_only_time(config: WorkflowConfig) -> float:
     return per_step * config.num_steps / config.cluster.node.core_speed
 
 
-class WorkflowRunner:
-    """Builds the modelled cluster, spawns all rank processes, runs the simulation."""
+def pipeline_simulation_only_time(pipeline: PipelineSpec) -> float:
+    """Analytic lower bound of a pipeline: the slowest source stage's kernels."""
+    core_speed = pipeline.cluster.node.core_speed
+    times = [0.0]
+    for stage in pipeline.sources:
+        per_step = stage.workload.sim_step_seconds_for_block(
+            pipeline.stage_block_bytes(stage.name)
+        )
+        times.append(per_step * pipeline.stage_steps(stage.name) / core_speed)
+    return max(times)
 
-    def __init__(self, config: WorkflowConfig, transport: Optional[Transport] = None):
-        self.config = config
-        self.transport = transport if transport is not None else self._make_transport()
-        self.tracer = Tracer(enabled=config.trace)
+
+class PipelineRunner:
+    """Builds the modelled cluster, spawns every stage's ranks, runs the pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        The validated stage/coupling graph to execute.
+    transports:
+        Optional pre-built transports keyed by coupling name (``"src->dst"``);
+        couplings without an entry get ``create_transport(spec.transport,
+        **spec.transport_options)``.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        transports: Optional[Dict[str, Transport]] = None,
+    ):
+        self.pipeline = pipeline
+        self.placement = PipelinePlacement(pipeline)
+        self.tracer = Tracer(enabled=pipeline.trace)
         self.cluster = self._build_cluster()
-        self.ctx = WorkflowContext(config, self.cluster, self.tracer)
+        self.ctx = PipelineContext(pipeline, self.cluster, self.tracer, self.placement)
+        overrides = dict(transports) if transports else {}
+        unknown = set(overrides) - {spec.name for spec in pipeline.couplings}
+        if unknown:
+            raise ValueError(
+                f"transport overrides for unknown couplings {sorted(unknown)}; "
+                f"couplings are {[spec.name for spec in pipeline.couplings]}"
+            )
+        self.transports: Dict[str, Transport] = {
+            spec.name: (
+                overrides[spec.name]
+                if spec.name in overrides
+                else create_transport(spec.transport, **spec.transport_options)
+            )
+            for spec in pipeline.couplings
+        }
         self._apply_underfill_correction()
 
     # -- construction -------------------------------------------------------
-    def _make_transport(self) -> Transport:
-        return create_transport(self.config.transport)
-
     def _scaled_cluster_spec(self) -> ClusterSpec:
         """Scale per-node and file-system bandwidth to the modelled fraction.
 
@@ -47,12 +112,9 @@ class WorkflowRunner:
         of a real node's NIC; likewise the modelled ranks are entitled to
         their fraction of the shared file system's aggregate bandwidth.
         """
-        cfg = self.config
-        spec = cfg.cluster
-        node_fraction = cfg.ranks_per_modelled_node / spec.node.cores
-        modelled_ranks = cfg.sim_ranks + cfg.analysis_ranks
-        total_ranks = cfg.total_sim_ranks + cfg.total_analysis_ranks
-        job_fraction = min(1.0, modelled_ranks / total_ranks)
+        spec = self.pipeline.cluster
+        node_fraction = self.pipeline.ranks_per_modelled_node / spec.node.cores
+        job_fraction = min(1.0, self.placement.modelled_ranks / self.placement.total_ranks)
         network = replace(
             spec.network,
             link_bandwidth=spec.network.link_bandwidth * node_fraction,
@@ -66,24 +128,18 @@ class WorkflowRunner:
         return replace(spec, network=network, filesystem=filesystem, max_nodes=None)
 
     def _build_cluster(self) -> Cluster:
-        cfg = self.config
-        rpn = cfg.ranks_per_modelled_node
-        sim_nodes = -(-cfg.sim_ranks // rpn)
-        analysis_nodes = -(-cfg.analysis_ranks // rpn)
-        staging_ranks = (cfg.sim_ranks * cfg.staging_ranks_per_8_sim) // 8
-        if cfg.staging_ranks_per_8_sim > 0:
-            staging_ranks = max(1, staging_ranks)
-        staging_nodes = -(-staging_ranks // rpn) if staging_ranks else 0
-        num_nodes = sim_nodes + analysis_nodes + staging_nodes
+        pipeline = self.pipeline
+        num_nodes = self.placement.num_nodes
         # Nodes of the full represented job (for the fabric's scale effects).
-        total_ranks = cfg.total_sim_ranks + cfg.total_analysis_ranks
-        total_nodes = max(num_nodes, -(-total_ranks // cfg.cluster.node.cores))
+        total_nodes = max(
+            num_nodes, -(-self.placement.total_ranks // pipeline.cluster.node.cores)
+        )
         return Cluster(
             self._scaled_cluster_spec(),
             num_nodes=num_nodes,
             total_nodes=total_nodes,
-            deterministic=cfg.deterministic,
-            seed=cfg.seed,
+            deterministic=pipeline.deterministic,
+            seed=pipeline.seed,
         )
 
     def _apply_underfill_correction(self) -> None:
@@ -94,149 +150,321 @@ class WorkflowRunner:
         staging/link nodes, which may host a single rank) get their port
         bandwidth reduced proportionally so per-rank shares stay faithful.
         """
-        ctx = self.ctx
-        rpn = self.config.ranks_per_modelled_node
-        ranks_on_node: Dict[int, int] = {}
-        for rank in range(ctx.sim_ranks):
-            ranks_on_node[ctx.sim_node(rank)] = ranks_on_node.get(ctx.sim_node(rank), 0) + 1
-        for arank in range(ctx.analysis_ranks):
-            node = ctx.analysis_node(arank)
-            ranks_on_node[node] = ranks_on_node.get(node, 0) + 1
-        for srank in range(ctx.staging_ranks):
-            node = ctx.staging_node(srank)
-            ranks_on_node[node] = ranks_on_node.get(node, 0) + 1
-        for node, count in ranks_on_node.items():
+        rpn = self.pipeline.ranks_per_modelled_node
+        for node, count in self.placement.ranks_per_node().items():
             if count < rpn:
-                ctx.cluster.network.scale_node_bandwidth(node, count / rpn)
+                self.cluster.network.scale_node_bandwidth(node, count / rpn)
 
     # -- rank processes ----------------------------------------------------------
-    def _sim_rank_process(self, rank: int) -> Generator:
+    def _source_rank_process(self, stage_name: str, rank: int) -> Generator:
+        """One rank of a source stage: compute phases, halos, per-step puts."""
         ctx = self.ctx
-        cfg = self.config
-        workload = ctx.workload
-        node = ctx.cluster.node(ctx.sim_node(rank))
         env = ctx.env
-        step_seconds = workload.sim_step_seconds_for_block(ctx.block_bytes)
-        left, right = (
-            (rank - 1) % ctx.sim_ranks,
-            (rank + 1) % ctx.sim_ranks,
+        stage = self.pipeline.stage(stage_name)
+        workload = stage.workload
+        node = ctx.cluster.node(ctx.stage_node(stage_name, rank))
+        comm = ctx.stage_comms[stage_name]
+        stats = ctx.stage_rank_stats[stage_name][rank]
+        outbound = ctx.outbound(stage_name)
+        steps = ctx.stage_steps[stage_name]
+        nranks = ctx.stage_ranks(stage_name)
+        step_seconds = workload.sim_step_seconds_for_block(
+            self.pipeline.stage_block_bytes(stage_name)
         )
-        for step in range(ctx.steps):
+        left, right = (rank - 1) % nranks, (rank + 1) % nranks
+        for step in range(steps):
             step_start = env.now
             compute_this_step = 0.0
             for phase, fraction in workload.phase_fractions.items():
                 phase_start = env.now
                 yield from node.compute(step_seconds * fraction)
                 compute_this_step += env.now - phase_start
-                ctx.record_sim(rank, phase, phase_start, step=step)
+                ctx.record_stage(stage_name, rank, phase, phase_start, step=step)
                 if (
                     phase == "streaming"
                     and workload.halo_bytes > 0
                     and workload.halo_neighbors > 0
-                    and ctx.sim_ranks > 1
+                    and nranks > 1
                 ):
-                    yield from ctx.sim_comm.sendrecv(
-                        rank, right, workload.halo_bytes, left
-                    )
+                    yield from comm.sendrecv(rank, right, workload.halo_bytes, left)
                     if workload.halo_neighbors > 1:
-                        yield from ctx.sim_comm.sendrecv(
-                            rank, left, workload.halo_bytes, right
-                        )
-            ctx.sim_rank_stats[rank]["compute_time"] += compute_this_step
+                        yield from comm.sendrecv(rank, left, workload.halo_bytes, right)
+            stats["compute_time"] += compute_this_step
             put_start = env.now
-            yield from self.transport.producer_put(
-                ctx, rank, step, workload.output_bytes_per_step
-            )
-            ctx.record_sim(rank, "put", put_start, step=step)
-            ctx.sim_rank_stats[rank]["put_time"] += env.now - put_start
-            ctx.record_sim(rank, "step", step_start, step=step)
-        yield from self.transport.producer_finalize(ctx, rank)
-        ctx.sim_rank_stats[rank]["finish_time"] = env.now
+            for cctx in outbound:
+                yield from self.transports[cctx.name].producer_put(
+                    cctx, rank, step, ctx.stage_output_bytes[stage_name]
+                )
+            ctx.record_stage(stage_name, rank, "put", put_start, step=step)
+            stats["put_time"] += env.now - put_start
+            ctx.record_stage(stage_name, rank, "step", step_start, step=step)
+        for cctx in outbound:
+            yield from self.transports[cctx.name].producer_finalize(cctx, rank)
+        stats["finish_time"] = env.now
 
-    def _analysis_rank_process(self, arank: int) -> Generator:
+    def _consumer_rank_process(self, stage_name: str, rank: int) -> Generator:
+        """One rank of a consuming stage: drive every inbound coupling's
+        consumer loop; forward fully-consumed steps into outbound couplings."""
         ctx = self.ctx
-        workload = ctx.workload
-        node = ctx.cluster.node(ctx.analysis_node(arank))
         env = ctx.env
+        stage = self.pipeline.stage(stage_name)
+        workload = stage.workload
+        node = ctx.cluster.node(ctx.stage_node(stage_name, rank))
+        stats = ctx.stage_rank_stats[stage_name][rank]
+        inbound = ctx.inbound(stage_name)
+        outbound = ctx.outbound(stage_name)
+        out_bytes = ctx.stage_output_bytes[stage_name]
+        expected_per_step = sum(
+            self.transports[cctx.name].consumer_deliveries_per_step(cctx, rank)
+            for cctx in inbound
+        )
+        step_progress: Dict[int, int] = {}
+        # Steps can *complete* out of order (fine-grain inbound blocks arrive
+        # interleaved across steps), but downstream producer contracts assume
+        # in-order per-rank puts (MPI-IO visibility bookkeeping, DIMES's
+        # circular step window) — so hold completed steps back and flush them
+        # in step order.
+        ready_steps: set = set()
+        forward_state = {"next": 0}
+        # With several inbound couplings, two consumer processes of this rank
+        # can flush concurrently; serialise them so transports with collective
+        # producer sync (e.g. MPI-IO barriers) never see two concurrent calls
+        # from one rank.
+        forward_mutex = (
+            Container(env, capacity=1, init=1)
+            if outbound and len(inbound) > 1
+            else None
+        )
 
         def analyze(nbytes: int, step: int) -> Generator:
             start = env.now
             yield from node.compute(workload.analysis_seconds_per_byte * nbytes)
-            ctx.record_analysis(arank, "analysis", start, step=step, nbytes=nbytes)
-            ctx.analysis_rank_stats[arank]["analysis_time"] += env.now - start
+            ctx.record_stage(stage_name, rank, "analysis", start, step=step, nbytes=nbytes)
+            stats["analysis_time"] += env.now - start
+            if outbound:
+                step_progress[step] = step_progress.get(step, 0) + 1
+                if step_progress[step] == expected_per_step:
+                    ready_steps.add(step)
+                    if forward_mutex is not None:
+                        yield forward_mutex.get(1)
+                    while forward_state["next"] in ready_steps:
+                        flush = forward_state["next"]
+                        put_start = env.now
+                        for oc in outbound:
+                            yield from self.transports[oc.name].producer_put(
+                                oc, rank, flush, out_bytes
+                            )
+                        ctx.record_stage(stage_name, rank, "put", put_start, step=flush)
+                        stats["put_time"] += env.now - put_start
+                        ready_steps.discard(flush)
+                        forward_state["next"] += 1
+                    if forward_mutex is not None:
+                        yield forward_mutex.put(1)
+                elif step_progress[step] > expected_per_step:
+                    # A transport whose consumer_run delivers more often than
+                    # its consumer_deliveries_per_step hook reports would
+                    # silently duplicate data downstream; fail loudly instead.
+                    raise RuntimeError(
+                        f"stage {stage_name!r} rank {rank} received "
+                        f"{step_progress[step]} deliveries for step {step} but "
+                        f"the inbound transports reported {expected_per_step} "
+                        "per step; fix consumer_deliveries_per_step"
+                    )
 
-        yield from self.transport.consumer_run(ctx, arank, analyze)
-        ctx.analysis_rank_stats[arank]["finish_time"] = env.now
+        if len(inbound) == 1:
+            cctx = inbound[0]
+            yield from self.transports[cctx.name].consumer_run(cctx, rank, analyze)
+        else:
+            consumers = [
+                env.process(self.transports[cctx.name].consumer_run(cctx, rank, analyze))
+                for cctx in inbound
+            ]
+            yield AllOf(env, consumers)
+        if outbound and forward_state["next"] < ctx.stage_steps[stage_name]:
+            # The mirror of the over-delivery guard in analyze(): a transport
+            # that delivered fewer calls per step than its hook reported (or
+            # none at all for some step) left steps unforwarded, which would
+            # starve the downstream stages.
+            raise RuntimeError(
+                f"stage {stage_name!r} rank {rank} only forwarded "
+                f"{forward_state['next']} of {ctx.stage_steps[stage_name]} steps "
+                f"({expected_per_step} deliveries per step expected); fix "
+                "consumer_deliveries_per_step"
+            )
+        for oc in outbound:
+            yield from self.transports[oc.name].producer_finalize(oc, rank)
+        stats["finish_time"] = env.now
+
+    def _stage_rank_process(self, stage_name: str, rank: int) -> Generator:
+        if not self.ctx.inbound(stage_name):
+            return self._source_rank_process(stage_name, rank)
+        return self._consumer_rank_process(stage_name, rank)
 
     # -- execution --------------------------------------------------------------
     def run(self) -> WorkflowResult:
         ctx = self.ctx
-        cfg = self.config
         env = ctx.env
+        pipeline = self.pipeline
         failed = False
         failure_reason = ""
+        end_to_end = float("nan")
         try:
-            self.transport.setup(ctx)
+            for cctx in ctx.couplings:
+                self.transports[cctx.name].setup(cctx)
             processes = [
-                env.process(self._sim_rank_process(r)) for r in range(ctx.sim_ranks)
-            ]
-            processes += [
-                env.process(self._analysis_rank_process(a))
-                for a in range(ctx.analysis_ranks)
+                env.process(self._stage_rank_process(stage.name, rank))
+                for stage in pipeline.stages
+                for rank in range(ctx.stage_ranks(stage.name))
             ]
             env.run(until=AllOf(env, processes))
             end_to_end = max(
-                [s.get("finish_time", 0.0) for s in ctx.sim_rank_stats.values()]
-                + [s.get("finish_time", 0.0) for s in ctx.analysis_rank_stats.values()]
+                stats.get("finish_time", 0.0)
+                for per_stage in ctx.stage_rank_stats.values()
+                for stats in per_stage.values()
             )
         except TransportFault as fault:
             failed = True
             failure_reason = fault.reason
             end_to_end = float("nan")
         finally:
-            self.transport.teardown(ctx)
+            for cctx in ctx.couplings:
+                self.transports[cctx.name].teardown(cctx)
         ctx.cluster.counters.query(env.now)
 
-        breakdown = self._breakdown()
-        stats = dict(ctx.stats)
+        stats: Dict[str, float] = defaultdict(float)
+        for cctx in ctx.couplings:
+            for key, value in cctx.stats.items():
+                # Rank-identity keys (consumer_<n>_...) from different
+                # couplings describe different stages' ranks; summing them
+                # would be meaningless, so namespace them instead.  Additive
+                # counters (bytes, blocks, waits) aggregate as before.
+                if key.startswith("consumer_") and len(ctx.couplings) > 1:
+                    stats[f"{cctx.name}/{key}"] += value
+                else:
+                    stats[key] += value
+        stats = dict(stats)
         stats["events_processed"] = env.events_processed
         xmit_wait = ctx.cluster.counters.total("XmitWait") * ctx.rank_scale_factor
+
+        stage_rank_stats = {
+            name: {rank: dict(v) for rank, v in per_stage.items()}
+            for name, per_stage in ctx.stage_rank_stats.items()
+        }
+        sources = [s.name for s in pipeline.sources]
+        sinks = [s.name for s in pipeline.sinks]
+        sim_stats = stage_rank_stats.get(sources[0], {}) if sources else {}
+        analysis_stats = stage_rank_stats.get(sinks[-1], {}) if sinks else {}
         return WorkflowResult(
-            transport=self.transport.name,
+            transport=self._transport_label(),
             end_to_end_time=end_to_end,
-            simulation_only_time=simulation_only_time(cfg),
-            breakdown=breakdown,
+            simulation_only_time=pipeline_simulation_only_time(pipeline),
+            breakdown=self._breakdown(),
             stats=stats,
-            sim_rank_stats={k: dict(v) for k, v in ctx.sim_rank_stats.items()},
-            analysis_rank_stats={k: dict(v) for k, v in ctx.analysis_rank_stats.items()},
+            sim_rank_stats=sim_stats,
+            analysis_rank_stats=analysis_stats,
             xmit_wait=xmit_wait,
-            tracer=self.tracer if cfg.trace else None,
-            label=cfg.label,
-            total_cores=cfg.total_cores,
-            block_bytes=ctx.block_bytes,
+            tracer=self.tracer if pipeline.trace else None,
+            label=pipeline.label,
+            total_cores=pipeline.total_cores,
+            block_bytes=self._common_block_bytes(),
             failed=failed,
             failure_reason=failure_reason,
+            stage_rank_stats=stage_rank_stats,
+            stage_breakdowns=self._stage_breakdowns(),
+            coupling_stats={c.name: dict(c.stats) for c in ctx.couplings},
+            coupling_transports={
+                c.name: self.transports[c.name].name for c in ctx.couplings
+            },
+            coupling_block_bytes={c.name: c.block_bytes for c in ctx.couplings},
+        )
+
+    def _common_block_bytes(self) -> int:
+        """The block size shared by every coupling, or 0 when they disagree."""
+        sizes = {c.block_bytes for c in self.ctx.couplings}
+        if not sizes:
+            return self.pipeline.block_bytes
+        return sizes.pop() if len(sizes) == 1 else 0
+
+    def _transport_label(self) -> str:
+        if not self.pipeline.couplings:
+            return "none"
+        if len(self.pipeline.couplings) == 1:
+            return self.transports[self.pipeline.couplings[0].name].name
+        return ",".join(
+            f"{spec.name}:{self.transports[spec.name].name}"
+            for spec in self.pipeline.couplings
+        )
+
+    # -- result assembly ---------------------------------------------------------
+    def _stage_values(self, stage_names: Iterable[str], *keys: str) -> List[float]:
+        """Per-rank sums of ``keys`` over every rank of the given stages."""
+        return [
+            sum(stats.get(key, 0.0) for key in keys)
+            for name in stage_names
+            for stats in self.ctx.stage_rank_stats[name].values()
+        ]
+
+    def _breakdown_for(
+        self,
+        sources: List[str],
+        producers: List[str],
+        consumers: List[str],
+    ) -> StageBreakdown:
+        """The stat-key -> breakdown-field mapping, shared by both views."""
+        return StageBreakdown(
+            simulation=_mean(self._stage_values(sources, "compute_time")),
+            transfer=_mean(
+                self._stage_values(producers, "transfer_busy_time", "io_write_time")
+            ),
+            analysis=_mean(self._stage_values(consumers, "analysis_time")),
+            store=_mean(self._stage_values(producers, "writer_busy_time"))
+            + _mean(self._stage_values(consumers, "output_busy_time")),
+            stall=_mean(self._stage_values(sources, "stall_time")),
         )
 
     def _breakdown(self) -> StageBreakdown:
-        ctx = self.ctx
-        sim = _mean(s.get("compute_time", 0.0) for s in ctx.sim_rank_stats.values())
-        stall = _mean(s.get("stall_time", 0.0) for s in ctx.sim_rank_stats.values())
-        transfer = _mean(
-            s.get("transfer_busy_time", 0.0) + s.get("io_write_time", 0.0)
-            for s in ctx.sim_rank_stats.values()
-        )
-        analysis = _mean(
-            s.get("analysis_time", 0.0) for s in ctx.analysis_rank_stats.values()
-        )
-        store = _mean(
-            s.get("writer_busy_time", 0.0) for s in ctx.sim_rank_stats.values()
-        ) + _mean(
-            s.get("output_busy_time", 0.0) for s in ctx.analysis_rank_stats.values()
-        )
-        return StageBreakdown(
-            simulation=sim, transfer=transfer, analysis=analysis, store=store, stall=stall
-        )
+        pipeline = self.pipeline
+        sources = [s.name for s in pipeline.sources]
+        producers = [s.name for s in pipeline.stages if pipeline.outbound(s.name)]
+        consumers = [s.name for s in pipeline.stages if pipeline.inbound(s.name)]
+        return self._breakdown_for(sources, producers, consumers)
+
+    def _stage_breakdowns(self) -> Dict[str, StageBreakdown]:
+        return {
+            stage.name: self._breakdown_for(
+                [stage.name], [stage.name], [stage.name]
+            )
+            for stage in self.pipeline.stages
+        }
+
+
+class WorkflowRunner:
+    """Legacy two-application API: lowers the config to a two-stage pipeline.
+
+    Keeps the historical surface — ``config``, ``transport``, ``cluster``,
+    ``ctx`` (the single coupling's context) and :meth:`run` — while all
+    execution happens in :class:`PipelineRunner`.
+    """
+
+    def __init__(self, config: WorkflowConfig, transport: Optional[Transport] = None):
+        self.config = config
+        pipeline = lower_config(config)
+        overrides: Optional[Dict[str, Transport]] = None
+        if transport is not None:
+            overrides = {pipeline.couplings[0].name: transport}
+        self._runner = PipelineRunner(pipeline, transports=overrides)
+        self.pipeline = pipeline
+        self.transport = self._runner.transports[pipeline.couplings[0].name]
+        self.tracer = self._runner.tracer
+        self.cluster = self._runner.cluster
+        self.ctx: CouplingContext = self._runner.ctx.couplings[0]
+
+    def run(self) -> WorkflowResult:
+        result = self._runner.run()
+        # The legacy analytic lower bound is defined on the config (identical
+        # for faithful lowerings, but keep the historical code path).
+        result.simulation_only_time = simulation_only_time(self.config)
+        return result
 
 
 def _mean(values) -> float:
@@ -249,3 +477,10 @@ def _mean(values) -> float:
 def run_workflow(config: WorkflowConfig, transport: Optional[Transport] = None) -> WorkflowResult:
     """Convenience wrapper: build a :class:`WorkflowRunner` and run it."""
     return WorkflowRunner(config, transport).run()
+
+
+def run_pipeline(
+    pipeline: PipelineSpec, transports: Optional[Dict[str, Transport]] = None
+) -> WorkflowResult:
+    """Convenience wrapper: build a :class:`PipelineRunner` and run it."""
+    return PipelineRunner(pipeline, transports).run()

@@ -191,5 +191,8 @@ class TestDecafIntegerOverflow:
             total_sim_ranks = 10_000
             workload = FakeWorkload()
 
+            def represented_step_output_bytes(self):
+                return self.workload.output_bytes_per_step
+
         with pytest.raises(TransportFault):
             transport._check_overflow(FakeCtx())
