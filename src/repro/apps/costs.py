@@ -71,6 +71,14 @@ class WorkloadModel:
     #: overflow model): 8-byte doubles for grid fields, whole atom records for
     #: the molecular-dynamics workload.
     element_bytes: int = 8
+    #: Bursty analytics: multiplier on the per-byte analysis cost during a
+    #: burst (1.0 = steady analysis; used by the elastic scenarios, where an
+    #: in-situ renderer or checkpoint analysis periodically spikes).
+    analysis_burst_factor: float = 1.0
+    #: A burst starts every ``analysis_burst_period`` steps (0 disables bursts).
+    analysis_burst_period: int = 0
+    #: Number of consecutive steps one burst lasts.
+    analysis_burst_length: int = 1
 
     def __post_init__(self) -> None:
         if self.sim_step_seconds < 0:
@@ -91,6 +99,19 @@ class WorkloadModel:
             raise ValueError("block_exponent must be >= 1")
         if self.reference_block_bytes <= 0:
             raise ValueError("reference_block_bytes must be positive")
+        if self.analysis_burst_factor <= 0:
+            raise ValueError("analysis_burst_factor must be positive")
+        if self.analysis_burst_period < 0:
+            raise ValueError("analysis_burst_period must be non-negative")
+        if self.analysis_burst_length <= 0:
+            raise ValueError("analysis_burst_length must be positive")
+        if (
+            self.analysis_burst_period
+            and self.analysis_burst_length > self.analysis_burst_period
+        ):
+            raise ValueError(
+                "analysis_burst_length cannot exceed analysis_burst_period"
+            )
 
     # -- derived quantities ---------------------------------------------------
     def total_output_bytes(self, ranks: int) -> int:
@@ -113,6 +134,24 @@ class WorkloadModel:
         per_step = self.sim_step_seconds_for_block(block_bytes)
         blocks_per_step = max(1.0, self.output_bytes_per_step / block_bytes)
         return per_step / blocks_per_step
+
+    def analysis_seconds_per_byte_at(self, step: int) -> float:
+        """Per-byte analysis cost at time step ``step`` (bursty analytics).
+
+        Steady workloads (``analysis_burst_period`` = 0) return the base
+        cost unchanged — including the exact float value, so non-bursty runs
+        are bit-identical to the pre-burst model.  With bursts enabled, the
+        *last* ``analysis_burst_length`` steps of every
+        ``analysis_burst_period``-step window cost
+        ``analysis_burst_factor`` × the base rate (the first window starts
+        steady, so every burst is preceded by observable steady steps).
+        """
+        if self.analysis_burst_period <= 0 or self.analysis_burst_factor == 1.0:
+            return self.analysis_seconds_per_byte
+        phase = step % self.analysis_burst_period
+        if phase >= self.analysis_burst_period - self.analysis_burst_length:
+            return self.analysis_seconds_per_byte * self.analysis_burst_factor
+        return self.analysis_seconds_per_byte
 
     def analysis_step_seconds(self, bytes_per_analysis_rank_per_step: float) -> float:
         """Analysis time per step for a rank receiving that many bytes."""

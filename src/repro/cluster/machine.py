@@ -98,6 +98,19 @@ class Cluster:
     def node(self, node_id: int) -> ComputeNode:
         return self.nodes[node_id]
 
+    def set_node_allocation(self, node_ids, scale: float) -> None:
+        """Re-scale the effective compute rate of a group of nodes.
+
+        The single entry point elastic controllers use to apply a stage
+        resize: every node hosting the stage's ranks gets the same
+        allocation scale (cores now backing each rank relative to the static
+        plan).  Delegates to
+        :meth:`~repro.cluster.node.ComputeNode.set_allocation_scale`, which
+        owns the cached-rate invalidation.
+        """
+        for node_id in node_ids:
+            self.nodes[node_id].set_allocation_scale(scale)
+
     def node_of_rank(self, rank: int, ranks_per_node: Optional[int] = None) -> int:
         """Map a rank to a modelled node using block placement."""
         if ranks_per_node is not None and ranks_per_node <= 0:

@@ -213,12 +213,21 @@ class Network:
         nbytes: int,
         flow: str = "msg",
         congestion_weight: float = 1.0,
+        rate_scale: float = 1.0,
     ) -> Generator:
         """Simulate moving ``nbytes`` from node ``src`` to node ``dst``.
 
         This is a simulation process: ``yield from`` it (or wrap it with
         ``env.process``).  Returns a :class:`TransferResult`.
+
+        ``rate_scale`` scales the bottleneck drain rate of this one transfer:
+        the bandwidth-lease hook of the elastic layer uses it to let a
+        coupling holding a lease of ``s`` drain at ``s`` × its fair-share
+        rate (``s`` < 1 for a lender, > 1 for a borrower).  The default of
+        1.0 leaves the arithmetic bit-identical to an unleased transfer.
         """
+        if rate_scale <= 0:
+            raise ValueError("rate_scale must be positive")
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self._check_node(src)
@@ -256,6 +265,8 @@ class Network:
         cscale = self._congestion_scale
         rates = [s.effective_rate(spec, congestion_weight, cscale) for s in stages]
         bottleneck = min(rates)
+        if rate_scale != 1.0:
+            bottleneck *= rate_scale
 
         now = env.now
         t_tx_start = max(now, tx.busy_until)

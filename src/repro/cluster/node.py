@@ -18,6 +18,13 @@ class ComputeNode:
     (accounting for the node's relative core speed and optional jitter) while
     holding a core slot, so that oversubscription of a node is visible as
     queueing.
+
+    The effective compute rate is *mutable*: an elastic controller can shift
+    core share between stages mid-run by scaling the allocation of the nodes
+    hosting each stage (:meth:`set_allocation_scale`).  The rate is cached
+    (it sits on the per-phase hot path) and the setter is the single
+    invalidation point, so any layer that changes allocations must go through
+    it — never mutate ``spec.core_speed`` directly.
     """
 
     def __init__(
@@ -36,12 +43,37 @@ class ComputeNode:
         self.cores = Resource(env, capacity=spec.cores)
         self.memory = Container(env, capacity=float(spec.memory_bytes), init=0.0)
         self.busy_core_seconds = 0.0
+        self._allocation_scale = 1.0
+        # Cached effective rate (reference seconds per simulated second);
+        # invalidated only by set_allocation_scale.
+        self._rate = spec.core_speed
+
+    @property
+    def allocation_scale(self) -> float:
+        """How many real cores back each modelled rank, relative to the static plan."""
+        return self._allocation_scale
+
+    def set_allocation_scale(self, scale: float) -> None:
+        """Re-scale this node's effective compute rate to ``scale`` × nominal.
+
+        A modelled rank normally stands for a fixed slice of the represented
+        job's cores; when an elastic controller moves cores between stages,
+        each rank of the grown stage is backed by proportionally more cores
+        (``scale`` > 1, faster) and each rank of the shrunk stage by fewer
+        (``scale`` < 1, slower).  Only work *started* after the call runs at
+        the new rate — in-flight compute keeps the duration frozen when it
+        was issued, exactly like a real reallocation at an epoch boundary.
+        """
+        if scale <= 0:
+            raise ValueError("allocation scale must be positive")
+        self._allocation_scale = float(scale)
+        self._rate = self.spec.core_speed * self._allocation_scale
 
     def compute(self, reference_seconds: float) -> Generator:
         """Occupy one core for ``reference_seconds`` of reference-core work."""
         if reference_seconds < 0:
             raise ValueError("reference_seconds must be non-negative")
-        duration = reference_seconds / self.spec.core_speed
+        duration = reference_seconds / self._rate
         if self.jitter_cv > 0:
             duration = self.rng.jitter(
                 f"node{self.node_id}.compute", duration, self.jitter_cv

@@ -82,17 +82,46 @@ class ParallelFileSystem:
         return self._active
 
     # -- data path --------------------------------------------------------
-    def write(self, node: int, nbytes: int, filename: Optional[str] = None) -> Generator:
-        """Write ``nbytes`` from ``node``.  Simulation process returning :class:`IOResult`."""
-        return self._io(node, nbytes, "write", filename)
+    def write(
+        self,
+        node: int,
+        nbytes: int,
+        filename: Optional[str] = None,
+        rate_scale: float = 1.0,
+    ) -> Generator:
+        """Write ``nbytes`` from ``node``.  Simulation process returning :class:`IOResult`.
 
-    def read(self, node: int, nbytes: int, filename: Optional[str] = None) -> Generator:
-        """Read ``nbytes`` into ``node``.  Simulation process returning :class:`IOResult`."""
-        return self._io(node, nbytes, "read", filename)
+        ``rate_scale`` scales this one request's achieved rate — the
+        bandwidth-lease hook lets a coupling that borrowed file-path
+        bandwidth drain faster (> 1) and the lender drain slower (< 1).
+        """
+        return self._io(node, nbytes, "write", filename, rate_scale)
 
-    def _io(self, node: int, nbytes: int, op: str, filename: Optional[str]) -> Generator:
+    def read(
+        self,
+        node: int,
+        nbytes: int,
+        filename: Optional[str] = None,
+        rate_scale: float = 1.0,
+    ) -> Generator:
+        """Read ``nbytes`` into ``node``.  Simulation process returning :class:`IOResult`.
+
+        See :meth:`write` for the meaning of ``rate_scale``.
+        """
+        return self._io(node, nbytes, "read", filename, rate_scale)
+
+    def _io(
+        self,
+        node: int,
+        nbytes: int,
+        op: str,
+        filename: Optional[str],
+        rate_scale: float = 1.0,
+    ) -> Generator:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if rate_scale <= 0:
+            raise ValueError("rate_scale must be positive")
         env = self.env
         start = env.now
 
@@ -114,6 +143,8 @@ class ParallelFileSystem:
                 self.spec.client_node_bandwidth,
             )
             rate = min(self.effective_rate(), client_cap)
+            if rate_scale != 1.0:
+                rate *= rate_scale
             duration = nbytes / rate
             duration = self.rng.jitter("pfs.data", duration, self.spec.service_cv)
 

@@ -1,0 +1,31 @@
+"""Elastic stage scheduling: mid-run core resize and coupling work stealing.
+
+The paper answers its central question — how to split cores and bandwidth
+between coupled simulation and analytics — *statically*.  This package makes
+the split time-varying: an :class:`ElasticController` monitors per-stage
+stall/idle time and per-coupling buffer occupancy during a
+:class:`~repro.workflow.runner.PipelineRunner` run and rebalances at policy
+epochs, by (1) shifting core share from an over-provisioned stage to a
+stalled one and (2) letting a starved coupling borrow file-path/staging
+bandwidth from an idle one.
+
+Attach an :class:`ElasticPolicy` to a
+:class:`~repro.workflow.pipeline.PipelineSpec` (``elastic=...``) to enable
+adaptation; the decisions taken are returned as the result's rebalance
+timeline (a list of :class:`RebalanceEvent`).  See ``docs/pipelines.md`` for
+a cookbook and ``docs/sweep-format.md`` for the persisted schema.
+"""
+
+from repro.elastic.controller import ElasticController
+from repro.elastic.monitor import CouplingHealth, EpochHealth, EpochMonitor, StageHealth
+from repro.elastic.policy import ElasticPolicy, RebalanceEvent
+
+__all__ = [
+    "ElasticController",
+    "ElasticPolicy",
+    "RebalanceEvent",
+    "EpochMonitor",
+    "EpochHealth",
+    "StageHealth",
+    "CouplingHealth",
+]

@@ -1,0 +1,307 @@
+"""The elastic controller: epoch-driven stage resize and bandwidth leases.
+
+The :class:`ElasticController` is a periodic in-simulation control loop (one
+:class:`~repro.simcore.control.PeriodicController` wake-up per policy epoch)
+that reads the :class:`~repro.elastic.monitor.EpochMonitor`'s health report
+and applies at most one decision per mechanism per epoch:
+
+* **Stage resize** — two triggers.  *Backpressure*: a coupling's source
+  stage spent more than ``stall_threshold`` of the epoch stalled, so its
+  cores are wasted while the coupling's target is the bottleneck — move
+  ``resize_fraction`` of the source's cores to the target.  *Saturation*:
+  one stage ran busier than ``saturated_threshold`` while another idled
+  below ``idle_threshold`` (transports with unbounded delivery queues never
+  stall the producer; the imbalance shows up as idle time on whichever
+  stage ran ahead) — move cores from the idle stage to the saturated one.
+  Donors are never resized below their floor; rates are re-scaled through
+  :meth:`~repro.cluster.machine.Cluster.set_node_allocation`.  When a grown
+  stage later idles below ``idle_threshold``, cores drift back towards the
+  static plan.  The sum of all stage allocations is invariant — cores are
+  moved, never created.
+* **Bandwidth lease (coupling work stealing)** — when a coupling is
+  *starved* (stalled above ``starved_threshold``, or its aggregate producer
+  buffers filled past ``starved_occupancy`` of capacity) while another
+  leasable coupling is idle, the starved coupling borrows ``lease_step`` of
+  bandwidth share from the idlest lender (never driving the lender below
+  ``min_bandwidth_share``),
+  applied through the coupling context's
+  :meth:`~repro.workflow.context.CouplingContext.set_bandwidth_share` hook.
+  The sum of shares is likewise invariant.
+
+Every decision is recorded as a
+:class:`~repro.elastic.policy.RebalanceEvent`; the timeline ends up on the
+:class:`~repro.workflow.result.WorkflowResult` and in the sweep store.
+
+A controller whose policy never triggers observes but never mutates model
+state; such a run is bit-identical to a static run (the controller's own
+wake-up events are subtracted from the reported event totals).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.elastic.monitor import EpochHealth, EpochMonitor
+from repro.elastic.policy import ElasticPolicy, RebalanceEvent
+from repro.simcore import PeriodicController
+
+__all__ = ["ElasticController"]
+
+#: Transfers smaller than this (cores or share units) are dropped as noise.
+MIN_TRANSFER = 1e-9
+
+
+class ElasticController:
+    """Epoch-driven adaptation of one pipeline run's resource split.
+
+    Parameters
+    ----------
+    ctx:
+        The run's :class:`~repro.workflow.context.PipelineContext`.
+    policy:
+        The :class:`~repro.elastic.policy.ElasticPolicy` governing epochs,
+        thresholds, step sizes and floors.
+    """
+
+    def __init__(self, ctx, policy: ElasticPolicy):
+        self.ctx = ctx
+        self.policy = policy
+        self.monitor = EpochMonitor(ctx)
+        self.timeline: List[RebalanceEvent] = []
+        self.epoch = 0
+
+        pipeline = ctx.pipeline
+        placement = ctx.placement
+        #: Represented cores each stage holds under the static plan — the
+        #: stage's explicit grant when given, else its full-job rank count.
+        #: Allocations (and the conservation invariant) are in these units,
+        #: so scenario families with uneven grants still move real cores.
+        self.baseline: Dict[str, float] = {
+            s.name: float(
+                s.granted_cores
+                if s.granted_cores is not None
+                else placement.stage_total_ranks[s.name]
+            )
+            for s in pipeline.stages
+        }
+        #: Current core holdings; the sum is invariant across resizes.
+        self.allocations: Dict[str, float] = dict(self.baseline)
+        self.total_cores = sum(self.baseline.values())
+        self._stage_nodes: Dict[str, List[int]] = {
+            s.name: list(
+                range(
+                    placement.stage_node_base[s.name],
+                    placement.stage_node_base[s.name] + placement.stage_nodes[s.name],
+                )
+            )
+            for s in pipeline.stages
+        }
+        #: Current bandwidth shares per coupling; the sum is invariant.
+        self.bandwidth_shares: Dict[str, float] = {
+            c.name: 1.0 for c in pipeline.couplings
+        }
+        self._clock: Optional[PeriodicController] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the periodic controller process in the run's environment."""
+        self._clock = PeriodicController(
+            self.ctx.env, self.policy.epoch_seconds, self._on_epoch, name="elastic"
+        )
+        self._clock.start()
+
+    @property
+    def events_consumed(self) -> int:
+        """Simulation events this controller's instrumentation consumed."""
+        return self._clock.events_consumed if self._clock is not None else 0
+
+    # -- epoch loop ---------------------------------------------------------
+    def _on_epoch(self, now: float) -> None:
+        self.epoch += 1
+        health = self.monitor.advance(now)
+        if self.policy.stage_resize:
+            self._decide_resize(now, health)
+        if self.policy.work_stealing:
+            self._decide_lease(now, health)
+
+    # -- stage resize -------------------------------------------------------
+    def _stage_floor(self, name: str) -> float:
+        stage = self.ctx.pipeline.stage(name)
+        fraction = stage.min_core_fraction
+        if fraction is None:
+            fraction = self.policy.min_stage_fraction
+        return fraction * self.baseline[name]
+
+    def _resizable(self, name: str) -> bool:
+        return self.ctx.pipeline.stage(name).resizable
+
+    def _decide_resize(self, now: float, health: EpochHealth) -> None:
+        # A stalled source is idling its cores while its coupling's target is
+        # the bottleneck: hand the idle cores to the target.
+        for coupling in self.ctx.pipeline.couplings:
+            src, dst = coupling.source, coupling.target
+            if not (self._resizable(src) and self._resizable(dst)):
+                continue
+            if health.stages[src].stall_fraction > self.policy.stall_threshold:
+                if self._transfer_cores(now, src, dst):
+                    return
+        # Saturation: a stage running flat out while another idles marks an
+        # over-provisioned/bottleneck pair even without explicit backpressure
+        # (unbounded delivery queues never stall the producer — the idle time
+        # simply shows up on whichever stage ran ahead).
+        resizable = [n for n in self.allocations if self._resizable(n)]
+        saturated = sorted(
+            (n for n in resizable
+             if health.stages[n].busy_fraction > self.policy.saturated_threshold),
+            key=lambda n: -health.stages[n].busy_fraction,
+        )
+        idle = sorted(
+            (n for n in resizable
+             if health.stages[n].busy_fraction < self.policy.idle_threshold),
+            key=lambda n: health.stages[n].busy_fraction,
+        )
+        if saturated and idle and saturated[0] != idle[0]:
+            if self._transfer_cores(now, idle[0], saturated[0]):
+                return
+        # Recovery: a grown stage that idles gives cores back to the most
+        # starved below-baseline stage, drifting towards the static plan.
+        overfull = [
+            name
+            for name in self.allocations
+            if self._resizable(name)
+            and self.allocations[name] > self.baseline[name] + MIN_TRANSFER
+            and health.stages[name].busy_fraction < self.policy.idle_threshold
+        ]
+        deficits = sorted(
+            (
+                (self.baseline[name] - self.allocations[name], name)
+                for name in self.allocations
+                if self._resizable(name)
+                and self.allocations[name] < self.baseline[name] - MIN_TRANSFER
+            ),
+            reverse=True,
+        )
+        if overfull and deficits:
+            donor = overfull[0]
+            receiver = deficits[0][1]
+            surplus = self.allocations[donor] - self.baseline[donor]
+            amount = min(
+                self.policy.resize_fraction * self.allocations[donor],
+                surplus,
+                deficits[0][0],
+            )
+            self._transfer_cores(now, donor, receiver, amount=amount)
+
+    def _transfer_cores(
+        self, now: float, donor: str, receiver: str, amount: Optional[float] = None
+    ) -> bool:
+        if amount is None:
+            amount = self.policy.resize_fraction * self.allocations[donor]
+        amount = min(amount, self.allocations[donor] - self._stage_floor(donor))
+        if amount <= MIN_TRANSFER:
+            return False
+        self.allocations[donor] -= amount
+        self.allocations[receiver] += amount
+        self._apply_allocation(donor)
+        self._apply_allocation(receiver)
+        self.timeline.append(
+            RebalanceEvent(
+                time=now,
+                epoch=self.epoch,
+                kind="stage_resize",
+                donor=donor,
+                receiver=receiver,
+                amount=amount,
+                detail={name: self.allocations[name] for name in (donor, receiver)},
+            )
+        )
+        return True
+
+    def _apply_allocation(self, name: str) -> None:
+        scale = self.allocations[name] / self.baseline[name]
+        self.ctx.cluster.set_node_allocation(self._stage_nodes[name], scale)
+
+    # -- bandwidth leases ---------------------------------------------------
+    def _leasable(self, name: str) -> bool:
+        for coupling in self.ctx.pipeline.couplings:
+            if coupling.name == name:
+                return coupling.leasable
+        return False
+
+    def _decide_lease(self, now: float, health: EpochHealth) -> None:
+        shares = self.bandwidth_shares
+        leasable = [n for n in shares if self._leasable(n)]
+        if len(leasable) < 2:
+            return
+        def _is_starved(name: str) -> bool:
+            # Explicit producer stalls, or buffer occupancy approaching
+            # capacity (backpressure building before anyone blocks).
+            coupling = health.couplings[name]
+            return (
+                coupling.stall_fraction > self.policy.starved_threshold
+                or coupling.occupancy_fraction > self.policy.starved_occupancy
+            )
+
+        starved = [
+            name
+            for name in leasable
+            if _is_starved(name)
+            and shares[name] < self.policy.max_bandwidth_share - MIN_TRANSFER
+        ]
+        if starved:
+            borrower = starved[0]
+            # The idlest other coupling lends: least stalled, then least traffic.
+            lenders = sorted(
+                (n for n in leasable if n != borrower),
+                key=lambda n: (
+                    health.couplings[n].stall_fraction,
+                    health.couplings[n].bytes_moved,
+                ),
+            )
+            for lender in lenders:
+                amount = min(
+                    self.policy.lease_step,
+                    shares[lender] - self.policy.min_bandwidth_share,
+                    self.policy.max_bandwidth_share - shares[borrower],
+                )
+                if amount > MIN_TRANSFER:
+                    self._transfer_share(now, lender, borrower, amount)
+                    return
+            return
+        # Recovery: an unstarved borrower returns share towards the fair 1.0.
+        for name in leasable:
+            if shares[name] > 1.0 + MIN_TRANSFER and not _is_starved(name):
+                lenders_below = sorted(
+                    (n for n in leasable if shares[n] < 1.0 - MIN_TRANSFER),
+                    key=lambda n: shares[n],
+                )
+                if not lenders_below:
+                    return
+                receiver = lenders_below[0]
+                amount = min(
+                    self.policy.lease_step,
+                    shares[name] - 1.0,
+                    1.0 - shares[receiver],
+                )
+                if amount > MIN_TRANSFER:
+                    self._transfer_share(now, name, receiver, amount)
+                return
+
+    def _transfer_share(
+        self, now: float, donor: str, receiver: str, amount: float
+    ) -> None:
+        self.bandwidth_shares[donor] -= amount
+        self.bandwidth_shares[receiver] += amount
+        self.ctx.coupling(donor).set_bandwidth_share(self.bandwidth_shares[donor])
+        self.ctx.coupling(receiver).set_bandwidth_share(self.bandwidth_shares[receiver])
+        self.timeline.append(
+            RebalanceEvent(
+                time=now,
+                epoch=self.epoch,
+                kind="bandwidth_lease",
+                donor=donor,
+                receiver=receiver,
+                amount=amount,
+                detail={n: self.bandwidth_shares[n] for n in (donor, receiver)},
+            )
+        )

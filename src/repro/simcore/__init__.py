@@ -19,6 +19,8 @@ The kernel is deliberately compact but complete:
   Zipper's work-stealing writer thread).
 * :class:`RandomStreams` — named, reproducible random-number streams.
 * :class:`TimeSeriesMonitor`, :class:`TallyMonitor` — statistics collection.
+* :class:`PeriodicController`, :class:`CounterDeltas` — periodic control-loop
+  events and per-epoch counter deltas (used by the elastic adaptation layer).
 
 Example
 -------
@@ -64,6 +66,7 @@ from repro.simcore.sync import (
 )
 from repro.simcore.rng import RandomStreams
 from repro.simcore.monitor import TimeSeriesMonitor, TallyMonitor
+from repro.simcore.control import PeriodicController, CounterDeltas
 
 __all__ = [
     "SimulationError",
@@ -90,4 +93,6 @@ __all__ = [
     "RandomStreams",
     "TimeSeriesMonitor",
     "TallyMonitor",
+    "PeriodicController",
+    "CounterDeltas",
 ]

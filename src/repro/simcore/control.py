@@ -1,0 +1,130 @@
+"""Periodic control-loop primitives for in-simulation adaptation.
+
+Adaptive layers (such as :mod:`repro.elastic`) need two things from the
+kernel: a *periodic controller event* that wakes a decision callback at a
+fixed simulated cadence, and a cheap *monitor hook* for turning the
+monotonically growing counters the models maintain into per-epoch deltas.
+
+Both are deliberately passive with respect to the simulation itself: a
+:class:`PeriodicController` only schedules its own timeouts and never touches
+model state, so a controller whose callback decides to do nothing leaves
+every modelled quantity exactly as it would have been without the controller.
+The controller counts the events it consumed (:attr:`PeriodicController.events_consumed`)
+so harnesses that report event totals can subtract the instrumentation cost
+and keep "no-op controller" runs bit-identical to uncontrolled ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.simcore.engine import Environment
+from repro.simcore.events import Process, Timeout
+
+__all__ = ["PeriodicController", "CounterDeltas"]
+
+
+class PeriodicController:
+    """Wake a callback every ``interval`` simulated seconds.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment to schedule against.
+    interval:
+        Simulated seconds between wake-ups (must be positive).
+    callback:
+        ``callback(now)`` invoked at every wake-up.  Returning ``False``
+        stops the controller; any other return value keeps it running.
+    name:
+        Purely descriptive tag used in ``repr``.
+
+    Notes
+    -----
+    The controller is an ordinary simulation process: it is started with
+    :meth:`start` and runs until its callback asks it to stop or the
+    environment's run ends.  It consumes exactly one event per wake-up plus
+    one start-up event; :attr:`events_consumed` reports that total so the
+    instrumentation can be subtracted from event counts.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interval: float,
+        callback: Callable[[float], Optional[bool]],
+        name: str = "controller",
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.interval = float(interval)
+        self.callback = callback
+        self.name = name
+        self.wakeups = 0
+        self._process: Optional[Process] = None
+
+    def start(self) -> Process:
+        """Spawn the controller process (idempotent per instance)."""
+        if self._process is not None:
+            raise RuntimeError(f"controller {self.name!r} already started")
+        self._process = self.env.process(self._run())
+        return self._process
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has been called."""
+        return self._process is not None
+
+    @property
+    def events_consumed(self) -> int:
+        """Events this controller has taken from the queue so far.
+
+        One initialisation event plus one timeout per wake-up; 0 when the
+        controller was never started.
+        """
+        if self._process is None:
+            return 0
+        return 1 + self.wakeups
+
+    def _run(self):
+        while True:
+            yield Timeout(self.env, self.interval)
+            self.wakeups += 1
+            if self.callback(self.env.now) is False:
+                return
+
+    def __repr__(self) -> str:
+        return (
+            f"<PeriodicController {self.name!r} interval={self.interval:g} "
+            f"wakeups={self.wakeups}>"
+        )
+
+
+class CounterDeltas:
+    """Per-epoch deltas over monotonically growing counter dictionaries.
+
+    Models accumulate counters (per-rank stall time, per-coupling bytes
+    moved) that only ever grow; a controller wants the *increment* since its
+    previous wake-up.  ``CounterDeltas`` snapshots named counter groups and
+    returns the per-key increase on each :meth:`advance` call.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[str, Dict[str, float]] = {}
+
+    def advance(self, group: str, counters: Mapping[str, float]) -> Dict[str, float]:
+        """Return the per-key increase of ``counters`` since the last call.
+
+        Keys absent from the previous snapshot are treated as starting at 0;
+        keys that disappeared are dropped.  The snapshot for ``group`` is
+        updated to the current values.
+        """
+        previous = self._snapshots.get(group, {})
+        current = {key: float(value) for key, value in counters.items()}
+        self._snapshots[group] = current
+        return {key: value - previous.get(key, 0.0) for key, value in current.items()}
+
+    def peek(self, group: str) -> Dict[str, float]:
+        """The last snapshot taken for ``group`` (empty if never advanced)."""
+        return dict(self._snapshots.get(group, {}))

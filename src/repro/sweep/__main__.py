@@ -1,3 +1,5 @@
+"""Entry point for ``python -m repro.sweep`` (see :mod:`repro.sweep.cli`)."""
+
 from repro.sweep.cli import main
 
 if __name__ == "__main__":

@@ -24,7 +24,8 @@ __all__ = ["main", "build_spec", "FIGURES"]
 MiB = 1024 * 1024
 
 #: Figure sweeps addressable from the command line ("pipelines" runs the
-#: multi-stage chain/fan-out scenario families through the pipeline API).
+#: multi-stage chain/fan-out scenario families through the pipeline API;
+#: "elastic" runs the bursty-analytics elastic-vs-static comparison).
 FIGURES = (
     "figure2",
     "figure12",
@@ -33,6 +34,7 @@ FIGURES = (
     "figure16",
     "figure18",
     "pipelines",
+    "elastic",
 )
 
 
@@ -54,6 +56,17 @@ def build_spec(args: argparse.Namespace) -> SweepSpec:
         return experiments.pipeline_shapes_spec(
             steps=args.steps,
             core_counts=cores or (384, 768),
+            representative_sim_ranks=args.sim_ranks,
+        )
+    if args.figure == "elastic":
+        if cores and len(cores) > 1:
+            raise SystemExit(
+                "error: the elastic figure sweeps static grants within one "
+                f"total_cores value; pass a single --cores value, got {args.cores!r}"
+            )
+        return experiments.elastic_vs_static_spec(
+            steps=args.steps,
+            total_cores=cores[0] if cores else 384,
             representative_sim_ranks=args.sim_ranks,
         )
     if args.figure in ("figure12", "figure13"):
@@ -88,7 +101,10 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cores",
         default="",
-        help="comma-separated core counts (figure14/16/18 and pipelines)",
+        help=(
+            "comma-separated core counts (figure14/16/18 and pipelines); "
+            "elastic accepts a single value (the total to split)"
+        ),
     )
     parser.add_argument("--store", default="", help="JSONL result store path (enables resume)")
     parser.add_argument("--trace", action="store_true", help="keep tracing enabled (slower)")

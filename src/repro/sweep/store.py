@@ -7,6 +7,9 @@ plus a flat summary of the :class:`~repro.workflow.result.WorkflowResult` —
 enough to feed :mod:`repro.bench.report` tables without re-running anything.
 Traces are deliberately not persisted; re-run the single scenario of interest
 with ``trace=True`` to regenerate one.
+
+The full record schema — including the per-stage/per-coupling breakdowns and
+the elastic rebalance timeline — is documented in ``docs/sweep-format.md``.
 """
 
 from __future__ import annotations
@@ -46,6 +49,10 @@ def result_payload(result: WorkflowResult) -> Dict[str, object]:
             for name, stats in result.coupling_stats.items()
         }
         payload["coupling_block_bytes"] = dict(result.coupling_block_bytes)
+    if result.rebalances:
+        # The elastic controller's decision timeline, in decision order;
+        # RebalanceEvent.from_dict rebuilds the events on load.
+        payload["rebalances"] = [event.as_dict() for event in result.rebalances]
     return payload
 
 

@@ -107,13 +107,20 @@ class Transport(ABC):
         flow: str = "msg",
         congestion_weight: float = 1.0,
     ) -> Generator:
-        """Move ``nbytes`` from a simulation rank's node to an analysis rank's node."""
+        """Move ``nbytes`` from a simulation rank's node to an analysis rank's node.
+
+        Honours the coupling's bandwidth lease: the transfer drains at
+        ``ctx.bandwidth_share`` × its fair-share rate, which is how an
+        elastic controller lets a starved coupling borrow bandwidth from an
+        idle one (see :mod:`repro.elastic`).
+        """
         result = yield from ctx.cluster.network.transfer(
             ctx.sim_node(sim_rank),
             ctx.analysis_node(arank),
             nbytes,
             flow=flow,
             congestion_weight=congestion_weight,
+            rate_scale=getattr(ctx, "bandwidth_share", 1.0),
         )
         return result
 

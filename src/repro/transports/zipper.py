@@ -137,6 +137,7 @@ class ZipperTransport(Transport):
                     stall_start = start
             state.blocks_enqueued += 1
             ctx.stats["blocks_produced"] += 1
+            ctx.note_buffer_level(rank, len(state.buffer.items))
             if len(state.buffer.items) > ctx.config.high_water_mark:
                 state.above_watermark.notify_all()
         if stall_start is not None:
@@ -153,6 +154,7 @@ class ZipperTransport(Transport):
         while True:
             idle_start = env.now
             desc = yield state.buffer.get()
+            ctx.note_buffer_level(rank, len(state.buffer.items))
             ctx.sim_rank_stats[rank]["sender_idle_time"] += env.now - idle_start
             if desc.eof:
                 yield self._consumers[ctx.consumer_of(rank)].delivery.put(desc)
@@ -185,13 +187,19 @@ class ZipperTransport(Transport):
                 continue
             # Steal the first (oldest) block in the buffer.
             desc = yield state.buffer.get()
+            ctx.note_buffer_level(rank, len(state.buffer.items))
             if desc.eof:
                 # Never consume the end-of-stream marker: hand it back for the
                 # sender and stop stealing.
                 yield state.buffer.put(desc)
                 return
             busy_start = env.now
-            yield from fs.write(node, desc.nbytes, filename=f"zipper_r{rank}")
+            yield from fs.write(
+                node,
+                desc.nbytes,
+                filename=f"zipper_r{rank}",
+                rate_scale=ctx.bandwidth_share,
+            )
             desc.via = "file"
             elapsed = env.now - busy_start
             ctx.sim_rank_stats[rank]["writer_busy_time"] += elapsed
@@ -212,7 +220,12 @@ class ZipperTransport(Transport):
             if desc.eof:
                 return
             start = env.now
-            yield from fs.read(node, desc.nbytes, filename=f"zipper_r{desc.source_rank}")
+            yield from fs.read(
+                node,
+                desc.nbytes,
+                filename=f"zipper_r{desc.source_rank}",
+                rate_scale=ctx.bandwidth_share,
+            )
             ctx.analysis_rank_stats[arank]["reader_busy_time"] += env.now - start
             yield cstate.delivery.put(desc)
 

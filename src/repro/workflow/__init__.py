@@ -18,6 +18,12 @@ The historical two-application API — :class:`WorkflowConfig`,
 :class:`WorkflowRunner` and :func:`run_workflow` — remains as a shim that
 lowers to a two-stage pipeline (``WorkflowConfig.to_pipeline()``).
 
+The resource split between stages may be made *elastic* by attaching an
+:class:`~repro.elastic.policy.ElasticPolicy` to the spec (``elastic=...``):
+an in-simulation controller then resizes stage core allocations and leases
+coupling bandwidth at policy epochs, and the decisions taken are returned on
+the result as a rebalance timeline (see :mod:`repro.elastic`).
+
 Large jobs are simulated with a *representative subset* of ranks per stage
 (:class:`StageSpec.representative_ranks`); per-rank resource shares and
 collective costs are derived from the full job size so that weak-scaling

@@ -258,6 +258,14 @@ class CouplingContext:
         #: Per-coupling statistics channel (merged into the run's aggregate
         #: stats when the result is assembled).
         self.stats: Dict[str, float] = defaultdict(float)
+        #: Bandwidth lease state: the share of its fair bandwidth this
+        #: coupling currently drains at (1.0 = the static fair share; an
+        #: elastic controller moves share between couplings mid-run).
+        self.bandwidth_share: float = 1.0
+        #: Per-source-rank producer-buffer occupancy in blocks, reported by
+        #: transports through :meth:`note_buffer_level` (empty when the
+        #: transport does not report occupancy).
+        self._buffer_levels: Dict[int, float] = {}
         self.sim_rank_stats = pipeline_ctx.stage_rank_stats[spec.source]
         self.analysis_rank_stats = pipeline_ctx.stage_rank_stats[spec.target]
         # Private communicators per coupling: they share the stage placement
@@ -371,6 +379,38 @@ class CouplingContext:
             coupling=self.name,
             **meta,
         )
+
+    # -- elastic hooks -------------------------------------------------------
+    def set_bandwidth_share(self, share: float) -> None:
+        """Set this coupling's bandwidth lease (elastic work stealing).
+
+        Transports consult :attr:`bandwidth_share` when issuing transfers
+        (via :meth:`~repro.transports.base.Transport.transfer_sim_to_analysis`
+        and the file-system ``rate_scale`` argument), so the new share takes
+        effect for every operation *issued* after this call; in-flight
+        operations keep the rate frozen at issue time.
+        """
+        if share <= 0:
+            raise ValueError("bandwidth share must be positive")
+        self.bandwidth_share = float(share)
+
+    def note_buffer_level(self, rank: int, level: float) -> None:
+        """Report one source rank's instantaneous buffer occupancy (in blocks).
+
+        A cheap monitor hook: transports with bounded producer buffers call
+        it on every enqueue/dequeue so the elastic controller can observe
+        occupancy without the cost of a full time series.  Levels are kept
+        per rank; :attr:`buffer_level` aggregates them.
+        """
+        self._buffer_levels[rank] = float(level)
+
+    @property
+    def buffer_level(self) -> float:
+        """Total instantaneous producer-buffer occupancy across source ranks.
+
+        0 for transports that never report occupancy.
+        """
+        return sum(self._buffer_levels.values())
 
     # -- scaling ------------------------------------------------------------
     @property

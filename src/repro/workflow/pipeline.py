@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.apps.costs import WorkloadModel
 from repro.cluster.spec import ClusterSpec
+from repro.elastic.policy import ElasticPolicy
 from repro.transports.null import NullTransport
 from repro.transports.registry import transport_class
 
@@ -72,6 +73,17 @@ class StageSpec:
     #: For stages that both consume and produce (chain middles): bytes emitted
     #: downstream per byte consumed.
     output_fraction: float = 1.0
+    #: Whether an elastic controller may move cores to/from this stage.
+    resizable: bool = True
+    #: Floor for elastic resizes, as a fraction of this stage's baseline
+    #: cores; ``None`` inherits the policy's ``min_stage_fraction``.
+    min_core_fraction: Optional[float] = None
+    #: Represented cores this stage actually holds at the start of the run,
+    #: for elastic accounting (``None`` = its resolved full-job rank count).
+    #: Scenario builders that encode an uneven static core grant as workload
+    #: rate factors set this so the controller moves (and conserves) the
+    #: *granted* cores rather than rank units.
+    granted_cores: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -85,6 +97,12 @@ class StageSpec:
             raise ValueError(f"stage {self.name!r} has a non-positive total_ranks")
         if self.output_fraction <= 0:
             raise ValueError(f"stage {self.name!r} needs output_fraction > 0")
+        if self.min_core_fraction is not None and not 0.0 < self.min_core_fraction <= 1.0:
+            raise ValueError(
+                f"stage {self.name!r} needs min_core_fraction in (0, 1] (or None)"
+            )
+        if self.granted_cores is not None and self.granted_cores <= 0:
+            raise ValueError(f"stage {self.name!r} needs granted_cores > 0 (or None)")
 
     def replace(self, **changes) -> "StageSpec":
         return replace(self, **changes)
@@ -111,6 +129,9 @@ class CouplingSpec:
     #: Staging/link ranks allocated per 8 source ranks (DataSpaces/DIMES
     #: servers, Decaf links); ``None`` inherits the pipeline default.
     staging_ranks_per_8: Optional[int] = None
+    #: Whether an elastic controller may lease this coupling's bandwidth
+    #: (lend it when idle, borrow for it when starved).
+    leasable: bool = True
 
     def __post_init__(self) -> None:
         if not self.source or not self.target:
@@ -162,6 +183,8 @@ class PipelineSpec:
     seed: int = 1
     #: Default staging ranks per 8 source ranks for couplings that do not override it.
     staging_ranks_per_8_sim: int = 1
+    #: Adaptation policy; ``None`` keeps the static resource split.
+    elastic: Optional[ElasticPolicy] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -185,6 +208,8 @@ class PipelineSpec:
             raise ValueError("steps must be positive")
         if self.staging_ranks_per_8_sim < 0:
             raise ValueError("staging_ranks_per_8_sim must be non-negative")
+        if self.elastic is not None and not isinstance(self.elastic, ElasticPolicy):
+            raise ValueError("elastic must be an ElasticPolicy (or None)")
         self._validate_graph()
 
     # -- graph validation ---------------------------------------------------

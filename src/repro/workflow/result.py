@@ -1,10 +1,19 @@
-"""Results of a simulated workflow run."""
+"""Results of a simulated workflow run.
+
+A :class:`WorkflowResult` carries the end-to-end time, the per-stage and
+per-coupling breakdowns, the aggregate transport counters and — for elastic
+runs — the *rebalance timeline*: the ordered
+:class:`~repro.elastic.policy.RebalanceEvent` list of every adaptation
+decision the controller took.  ``docs/sweep-format.md`` documents how the
+sweep store persists all of this as JSONL.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro.elastic.policy import RebalanceEvent
 from repro.trace import Tracer
 
 __all__ = ["StageBreakdown", "WorkflowResult"]
@@ -67,6 +76,10 @@ class WorkflowResult:
     #: Effective block size of each coupling (``block_bytes`` holds the common
     #: value, or 0 when couplings disagree).
     coupling_block_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Rebalance timeline of an elastic run: every stage resize and
+    #: bandwidth lease the controller applied, in decision order (empty for
+    #: static runs and for elastic policies that never triggered).
+    rebalances: List[RebalanceEvent] = field(default_factory=list)
     #: Sum of the XmitWait counter over all ports, scaled to the full job.
     xmit_wait: float = 0.0
     #: The full trace (``None`` when tracing was disabled).
@@ -131,5 +144,11 @@ class WorkflowResult:
                 f"  coupling {name:<22s} via {transport:<14s} "
                 f"net={stats.get('bytes_network', 0.0) / 1e6:9.1f}MB "
                 f"file={stats.get('bytes_file', 0.0) / 1e6:9.1f}MB"
+            )
+        for event in self.rebalances:
+            lines.append(
+                f"  rebalance t={event.time:8.2f}s epoch={event.epoch:<4d} "
+                f"{event.kind:<15s} {event.donor} -> {event.receiver} "
+                f"({event.amount:.2f})"
             )
         return "\n".join(lines)

@@ -16,6 +16,11 @@ simulation to completion.  Stage processes come in two shapes:
 :class:`WorkflowRunner` is the legacy two-application API, now a thin shim
 that lowers its :class:`~repro.workflow.config.WorkflowConfig` to a two-stage
 pipeline and delegates.
+
+When the pipeline carries an :class:`~repro.elastic.policy.ElasticPolicy`,
+the runner also spawns an :class:`~repro.elastic.controller.ElasticController`
+that rebalances stage core allocations and coupling bandwidth at policy
+epochs; its decision timeline lands on the result's ``rebalances`` field.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from typing import Dict, Generator, Iterable, List, Optional
 
 from repro.cluster.machine import Cluster
 from repro.cluster.spec import ClusterSpec
+from repro.elastic.controller import ElasticController
 from repro.simcore import AllOf, Container
 from repro.trace import Tracer
 from repro.transports.base import Transport, TransportFault
@@ -102,6 +108,13 @@ class PipelineRunner:
             for spec in pipeline.couplings
         }
         self._apply_underfill_correction()
+        #: The elastic adaptation loop (None for static runs).  Exposed so
+        #: tests and tools can inspect allocations and the decision timeline.
+        self.elastic_controller: Optional[ElasticController] = (
+            ElasticController(self.ctx, pipeline.elastic)
+            if pipeline.elastic is not None
+            else None
+        )
 
     # -- construction -------------------------------------------------------
     def _scaled_cluster_spec(self) -> ClusterSpec:
@@ -238,7 +251,9 @@ class PipelineRunner:
 
         def analyze(nbytes: int, step: int) -> Generator:
             start = env.now
-            yield from node.compute(workload.analysis_seconds_per_byte * nbytes)
+            yield from node.compute(
+                workload.analysis_seconds_per_byte_at(step) * nbytes
+            )
             ctx.record_stage(stage_name, rank, "analysis", start, step=step, nbytes=nbytes)
             stats["analysis_time"] += env.now - start
             if outbound:
@@ -316,6 +331,8 @@ class PipelineRunner:
                 for stage in pipeline.stages
                 for rank in range(ctx.stage_ranks(stage.name))
             ]
+            if self.elastic_controller is not None:
+                self.elastic_controller.start()
             env.run(until=AllOf(env, processes))
             end_to_end = max(
                 stats.get("finish_time", 0.0)
@@ -343,7 +360,15 @@ class PipelineRunner:
                 else:
                     stats[key] += value
         stats = dict(stats)
-        stats["events_processed"] = env.events_processed
+        # The elastic controller's wake-ups are instrumentation, not modelled
+        # workload; subtracting them keeps a never-triggering policy's event
+        # count bit-identical to the equivalent static run.
+        controller_events = (
+            self.elastic_controller.events_consumed
+            if self.elastic_controller is not None
+            else 0
+        )
+        stats["events_processed"] = env.events_processed - controller_events
         xmit_wait = ctx.cluster.counters.total("XmitWait") * ctx.rank_scale_factor
 
         stage_rank_stats = {
@@ -376,6 +401,11 @@ class PipelineRunner:
                 c.name: self.transports[c.name].name for c in ctx.couplings
             },
             coupling_block_bytes={c.name: c.block_bytes for c in ctx.couplings},
+            rebalances=(
+                list(self.elastic_controller.timeline)
+                if self.elastic_controller is not None
+                else []
+            ),
         )
 
     def _common_block_bytes(self) -> int:

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links in README/docs resolve to real files.
+
+Scans the repository's Markdown documentation for ``[text](target)`` links
+and verifies every non-HTTP target (with any ``#fragment`` stripped) exists
+relative to the file containing the link.  Exits non-zero listing the broken
+links, so CI can gate on documentation staying consistent with the tree.
+
+Usage::
+
+    python tools/check_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links; deliberately simple — our docs use no nested
+#: brackets or titles inside the target parentheses.
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+#: Documentation files whose links are checked.
+DOC_GLOBS = ("README.md", "docs/*.md", "ROADMAP.md", "CHANGES.md")
+
+
+def iter_links(path: Path):
+    """Yield every link target found in ``path``."""
+    for match in LINK_RE.finditer(path.read_text(encoding="utf-8")):
+        yield match.group(1)
+
+
+def check_tree(root: Path):
+    """Return the list of broken links as (file, target) pairs."""
+    broken = []
+    for pattern in DOC_GLOBS:
+        for doc in sorted(root.glob(pattern)):
+            for target in iter_links(doc):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:  # pure in-page anchor
+                    continue
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    broken.append((str(doc.relative_to(root)), target))
+    return broken
+
+
+def main(argv) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    broken = check_tree(root)
+    if broken:
+        print(f"{len(broken)} broken link(s):")
+        for doc, target in broken:
+            print(f"  {doc}: {target}")
+        return 1
+    print("all documentation links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
