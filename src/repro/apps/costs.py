@@ -107,10 +107,12 @@ class WorkloadModel:
             raise ValueError("analysis_burst_length must be positive")
         if (
             self.analysis_burst_period
-            and self.analysis_burst_length > self.analysis_burst_period
+            and self.analysis_burst_length >= self.analysis_burst_period
         ):
             raise ValueError(
-                "analysis_burst_length cannot exceed analysis_burst_period"
+                "analysis_burst_length must be smaller than "
+                "analysis_burst_period (every burst needs preceding steady "
+                "steps to be observable)"
             )
 
     # -- derived quantities ---------------------------------------------------

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.apps.costs import MiB, cfd_workload, lammps_workload, synthetic_workload
 from repro.cluster.presets import bridges, stampede2
-from repro.elastic import ElasticPolicy
+from repro.elastic import ElasticPolicy, ModelDrivenPolicy
 from repro.sweep.spec import ParamGrid, SweepSpec
 from repro.workflow.config import WorkflowConfig
 from repro.workflow.pipeline import CouplingSpec, PipelineSpec, StageSpec
@@ -43,6 +43,9 @@ __all__ = [
     "elastic_default_policy",
     "elastic_vs_static_spec",
     "elastic_vs_static_configs",
+    "model_driven_default_policy",
+    "model_vs_threshold_spec",
+    "model_vs_threshold_configs",
     "pipeline_chain",
     "pipeline_fanout",
     "pipeline_shapes_spec",
@@ -483,21 +486,21 @@ def elastic_burst_pipeline(
     )
 
 
-def elastic_vs_static_spec(
-    steps: int = 24,
-    total_cores: int = 384,
-    sim_core_grants: Optional[Iterable[int]] = None,
-    representative_sim_ranks: int = 8,
-    burst_factor: float = 10.0,
-    epoch_seconds: float = 0.25,
+def _bursty_grant_grid(
+    name: str,
+    mode_policies: Dict[str, Optional[ElasticPolicy]],
+    steps: int,
+    total_cores: int,
+    sim_core_grants: Optional[Iterable[int]],
+    representative_sim_ranks: int,
+    burst_factor: float,
 ) -> SweepSpec:
-    """Static core grants × {static, elastic} on the bursty-analytics pipeline.
+    """Grants × modes on the bursty-analytics pipeline (shared grid builder).
 
-    The headline comparison of the elastic layer (``python -m repro.sweep
-    elastic``): for every static grant the grid runs the fixed split and the
-    same split with the elastic controller enabled.  The elastic runs beat
-    the *best* static grant because the bursts make the optimal split
-    time-varying (asserted, with fixed seeds, in ``tests/test_elastic.py``).
+    ``mode_policies`` maps each mode label to the elastic policy it runs
+    under (``None`` = static); both headline elastic sweeps
+    (:func:`elastic_vs_static_spec`, :func:`model_vs_threshold_spec`) are
+    instances of this grid.
     """
     if sim_core_grants is None:
         if total_cores == 384:
@@ -508,7 +511,6 @@ def elastic_vs_static_spec(
                 max(1, (total_cores * grant) // 384)
                 for grant in ELASTIC_SIM_CORE_GRANTS
             )
-    policy = elastic_default_policy(epoch_seconds=epoch_seconds)
     base = elastic_burst_pipeline(
         # The base must be a valid grant for *this* total (the default 256
         # would fail validation for small totals); every case's derive hook
@@ -527,7 +529,7 @@ def elastic_vs_static_spec(
             steps=steps,
             representative_sim_ranks=representative_sim_ranks,
             burst_factor=burst_factor,
-            elastic=policy if params["mode"] == "elastic" else None,
+            elastic=mode_policies[params["mode"]],
         )
         return {
             "stages": shape.stages,
@@ -537,17 +539,103 @@ def elastic_vs_static_spec(
 
     grid = ParamGrid(
         base,
-        axes=[("mode", ("static", "elastic")), ("grant", tuple(sim_core_grants))],
+        axes=[("mode", tuple(mode_policies)), ("grant", tuple(sim_core_grants))],
         label=lambda p: f"{p['mode']}/{p['grant']}",
         derive=derive,
     )
-    return SweepSpec("elastic", grids=[grid])
+    return SweepSpec(name, grids=[grid])
+
+
+def elastic_vs_static_spec(
+    steps: int = 24,
+    total_cores: int = 384,
+    sim_core_grants: Optional[Iterable[int]] = None,
+    representative_sim_ranks: int = 8,
+    burst_factor: float = 10.0,
+    epoch_seconds: float = 0.25,
+) -> SweepSpec:
+    """Static core grants × {static, elastic} on the bursty-analytics pipeline.
+
+    The headline comparison of the elastic layer (``python -m repro.sweep
+    elastic``): for every static grant the grid runs the fixed split and the
+    same split with the elastic controller enabled.  The elastic runs beat
+    the *best* static grant because the bursts make the optimal split
+    time-varying (asserted, with fixed seeds, in ``tests/test_elastic.py``).
+    """
+    return _bursty_grant_grid(
+        "elastic",
+        {"static": None, "elastic": elastic_default_policy(epoch_seconds=epoch_seconds)},
+        steps=steps,
+        total_cores=total_cores,
+        sim_core_grants=sim_core_grants,
+        representative_sim_ranks=representative_sim_ranks,
+        burst_factor=burst_factor,
+    )
 
 
 def elastic_vs_static_configs(
     steps: int = 24, total_cores: int = 384
 ) -> List[Tuple[str, PipelineSpec]]:
     return elastic_vs_static_spec(steps=steps, total_cores=total_cores).configs()
+
+
+def model_driven_default_policy(epoch_seconds: float = 0.15) -> ModelDrivenPolicy:
+    """The model-driven policy used by the ``elastic-model`` scenario family.
+
+    Tuned on the bursty-analytics grid: a pure proportional approach to the
+    perf model's target (``kp=1``), fast calibration (``smoothing=0.7``) and
+    a wide hysteresis dead band (10% of the cores), which is what lets the
+    predictive controller match the threshold policy's makespans with a
+    fraction of its rebalance events.
+    """
+    return ModelDrivenPolicy(
+        epoch_seconds=epoch_seconds,
+        proportional_gain=1.0,
+        integral_gain=0.0,
+        derivative_gain=0.0,
+        deadband_fraction=0.1,
+        smoothing=0.7,
+        resize_fraction=0.5,
+    )
+
+
+def model_vs_threshold_spec(
+    steps: int = 24,
+    total_cores: int = 384,
+    sim_core_grants: Optional[Iterable[int]] = None,
+    representative_sim_ranks: int = 8,
+    burst_factor: float = 10.0,
+) -> SweepSpec:
+    """Threshold vs model-driven elastic policies on the bursty-analytics grid.
+
+    The headline comparison of the model-driven layer (``python -m
+    repro.sweep elastic-model``): for every static grant the grid runs the
+    same bursty pipeline once under the threshold
+    :class:`~repro.elastic.ElasticPolicy` and once under the predictive
+    :class:`~repro.elastic.ModelDrivenPolicy`.  With the default grid the
+    model-driven runs match or beat every threshold makespan while issuing
+    strictly fewer :class:`~repro.elastic.RebalanceEvent`\\ s (asserted, with
+    fixed seeds, in ``tests/test_elastic_model.py``).
+    """
+    return _bursty_grant_grid(
+        "elastic-model",
+        {
+            "threshold": elastic_default_policy(),
+            "model": model_driven_default_policy(),
+        },
+        steps=steps,
+        total_cores=total_cores,
+        sim_core_grants=sim_core_grants,
+        representative_sim_ranks=representative_sim_ranks,
+        burst_factor=burst_factor,
+    )
+
+
+def model_vs_threshold_configs(
+    steps: int = 24, total_cores: int = 384
+) -> List[Tuple[str, PipelineSpec]]:
+    """The ``(label, config)`` list form of :func:`model_vs_threshold_spec`."""
+    return model_vs_threshold_spec(steps=steps, total_cores=total_cores).configs()
 
 
 # -- legacy (label, config) list API, kept for the bench drivers -------------

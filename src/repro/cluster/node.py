@@ -47,6 +47,11 @@ class ComputeNode:
         # Cached effective rate (reference seconds per simulated second);
         # invalidated only by set_allocation_scale.
         self._rate = spec.core_speed
+        #: Modelled ranks currently hosted on this node.  Seeded from the
+        #: static placement by the pipeline runner and updated when elastic
+        #: rank spawns/retires place assist ranks, so spawn-time placement
+        #: can pick the least-loaded node of a stage's range.
+        self.hosted_ranks = 0
 
     @property
     def allocation_scale(self) -> float:
@@ -68,6 +73,22 @@ class ComputeNode:
             raise ValueError("allocation scale must be positive")
         self._allocation_scale = float(scale)
         self._rate = self.spec.core_speed * self._allocation_scale
+
+    def host_rank(self) -> int:
+        """Account one more modelled rank living on this node.
+
+        Pure bookkeeping — hosting does not reserve a core; the rank's work
+        contends for cores through :meth:`compute` like everyone else's.
+        """
+        self.hosted_ranks += 1
+        return self.hosted_ranks
+
+    def release_rank(self) -> int:
+        """Account one modelled rank leaving this node (a retire)."""
+        if self.hosted_ranks <= 0:
+            raise ValueError(f"node {self.node_id} hosts no ranks to release")
+        self.hosted_ranks -= 1
+        return self.hosted_ranks
 
     def compute(self, reference_seconds: float) -> Generator:
         """Occupy one core for ``reference_seconds`` of reference-core work."""

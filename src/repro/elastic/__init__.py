@@ -2,26 +2,39 @@
 
 The paper answers its central question — how to split cores and bandwidth
 between coupled simulation and analytics — *statically*.  This package makes
-the split time-varying: an :class:`ElasticController` monitors per-stage
-stall/idle time and per-coupling buffer occupancy during a
+the split time-varying: a controller monitors per-stage stall/idle time and
+per-coupling buffer occupancy during a
 :class:`~repro.workflow.runner.PipelineRunner` run and rebalances at policy
 epochs, by (1) shifting core share from an over-provisioned stage to a
-stalled one and (2) letting a starved coupling borrow file-path/staging
-bandwidth from an idle one.
+stalled one, (2) letting a starved coupling borrow file-path/staging
+bandwidth from an idle one, and (3) spawning/retiring modelled ranks of
+rank-elastic stages.
 
-Attach an :class:`ElasticPolicy` to a
-:class:`~repro.workflow.pipeline.PipelineSpec` (``elastic=...``) to enable
-adaptation; the decisions taken are returned as the result's rebalance
-timeline (a list of :class:`RebalanceEvent`).  See ``docs/pipelines.md`` for
-a cookbook and ``docs/sweep-format.md`` for the persisted schema.
+Two decision layers share those mechanisms: the threshold
+:class:`ElasticController` (bang-bang triggers, PR 3) and the predictive
+:class:`ModelDrivenController`, which calibrates a
+:class:`~repro.perfmodel.pipeline.PipelinePerfModel` online and approaches
+the model's optimal split through PID smoothing with a hysteresis dead band
+(see ``docs/elastic.md`` and ``docs/perf-model.md``).
+
+Attach an :class:`ElasticPolicy` (threshold) or :class:`ModelDrivenPolicy`
+to a :class:`~repro.workflow.pipeline.PipelineSpec` (``elastic=...``) to
+enable adaptation; the decisions taken are returned as the result's
+rebalance timeline (a list of :class:`RebalanceEvent`).  See
+``docs/pipelines.md`` for a cookbook and ``docs/sweep-format.md`` for the
+persisted schema.
 """
 
-from repro.elastic.controller import ElasticController
+from repro.elastic.controller import ElasticController, ElasticControllerBase
+from repro.elastic.model_driven import ModelDrivenController, ModelDrivenPolicy
 from repro.elastic.monitor import CouplingHealth, EpochHealth, EpochMonitor, StageHealth
 from repro.elastic.policy import ElasticPolicy, RebalanceEvent
 
 __all__ = [
     "ElasticController",
+    "ElasticControllerBase",
+    "ModelDrivenController",
+    "ModelDrivenPolicy",
     "ElasticPolicy",
     "RebalanceEvent",
     "EpochMonitor",

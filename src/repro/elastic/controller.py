@@ -1,36 +1,36 @@
-"""The elastic controller: epoch-driven stage resize and bandwidth leases.
+"""The elastic controllers: epoch-driven stage resize and bandwidth leases.
 
-The :class:`ElasticController` is a periodic in-simulation control loop (one
-:class:`~repro.simcore.control.PeriodicController` wake-up per policy epoch)
-that reads the :class:`~repro.elastic.monitor.EpochMonitor`'s health report
-and applies at most one decision per mechanism per epoch:
+Two controllers share one mechanism layer:
 
-* **Stage resize** — two triggers.  *Backpressure*: a coupling's source
-  stage spent more than ``stall_threshold`` of the epoch stalled, so its
-  cores are wasted while the coupling's target is the bottleneck — move
-  ``resize_fraction`` of the source's cores to the target.  *Saturation*:
-  one stage ran busier than ``saturated_threshold`` while another idled
-  below ``idle_threshold`` (transports with unbounded delivery queues never
-  stall the producer; the imbalance shows up as idle time on whichever
-  stage ran ahead) — move cores from the idle stage to the saturated one.
-  Donors are never resized below their floor; rates are re-scaled through
-  :meth:`~repro.cluster.machine.Cluster.set_node_allocation`.  When a grown
-  stage later idles below ``idle_threshold``, cores drift back towards the
-  static plan.  The sum of all stage allocations is invariant — cores are
-  moved, never created.
-* **Bandwidth lease (coupling work stealing)** — when a coupling is
-  *starved* (stalled above ``starved_threshold``, or its aggregate producer
-  buffers filled past ``starved_occupancy`` of capacity) while another
-  leasable coupling is idle, the starved coupling borrows ``lease_step`` of
-  bandwidth share from the idlest lender (never driving the lender below
-  ``min_bandwidth_share``),
-  applied through the coupling context's
-  :meth:`~repro.workflow.context.CouplingContext.set_bandwidth_share` hook.
-  The sum of shares is likewise invariant.
+* :class:`ElasticControllerBase` owns the *mechanisms* and their invariants —
+  the epoch clock (one :class:`~repro.simcore.control.PeriodicController`
+  wake-up per policy epoch), the :class:`~repro.elastic.monitor.EpochMonitor`,
+  the per-stage core allocations (conserved, floored, applied through
+  :meth:`~repro.cluster.machine.Cluster.set_node_allocation`), the
+  per-coupling bandwidth shares (conserved, applied through
+  :meth:`~repro.workflow.context.CouplingContext.set_bandwidth_share`) and the
+  :class:`~repro.elastic.policy.RebalanceEvent` timeline;
+* :class:`ElasticController` is the PR 3 *threshold* (bang-bang) decision
+  layer on top of it, and
+  :class:`~repro.elastic.model_driven.ModelDrivenController` the predictive
+  one driven by :mod:`repro.perfmodel` with PID smoothing and elastic rank
+  counts.
 
-Every decision is recorded as a
-:class:`~repro.elastic.policy.RebalanceEvent`; the timeline ends up on the
-:class:`~repro.workflow.result.WorkflowResult` and in the sweep store.
+**Threshold decisions.**  *Stage resize* has two triggers.  *Backpressure*: a
+coupling's source stage spent more than ``stall_threshold`` of the epoch
+stalled, so its cores are wasted while the coupling's target is the
+bottleneck — move ``resize_fraction`` of the source's cores to the target.
+*Saturation*: one stage ran busier than ``saturated_threshold`` while another
+idled below ``idle_threshold`` (transports with unbounded delivery queues
+never stall the producer; the imbalance shows up as idle time on whichever
+stage ran ahead) — move cores from the idle stage to the saturated one.  When
+a grown stage later idles below ``idle_threshold``, cores drift back towards
+the static plan.  *Bandwidth lease (coupling work stealing)*: when a coupling
+is *starved* (stalled above ``starved_threshold``, or its aggregate producer
+buffers filled past ``starved_occupancy`` of capacity) while another leasable
+coupling is idle, the starved coupling borrows ``lease_step`` of bandwidth
+share from the idlest lender (never driving the lender below
+``min_bandwidth_share``).
 
 A controller whose policy never triggers observes but never mutates model
 state; such a run is bit-identical to a static run (the controller's own
@@ -43,29 +43,38 @@ from typing import Dict, List, Optional
 
 from repro.elastic.monitor import EpochHealth, EpochMonitor
 from repro.elastic.policy import ElasticPolicy, RebalanceEvent
+from repro.perfmodel.pipeline import baseline_cores
 from repro.simcore import PeriodicController
 
-__all__ = ["ElasticController"]
+__all__ = ["ElasticControllerBase", "ElasticController", "MIN_TRANSFER"]
 
 #: Transfers smaller than this (cores or share units) are dropped as noise.
 MIN_TRANSFER = 1e-9
 
 
-class ElasticController:
-    """Epoch-driven adaptation of one pipeline run's resource split.
+class ElasticControllerBase:
+    """Mechanism layer shared by every elastic controller.
+
+    Owns the epoch clock, the monitor, the conserved core/bandwidth holdings
+    and the decision timeline; concrete controllers implement
+    :meth:`_decide` to turn an epoch's health report into transfers.
 
     Parameters
     ----------
     ctx:
         The run's :class:`~repro.workflow.context.PipelineContext`.
     policy:
-        The :class:`~repro.elastic.policy.ElasticPolicy` governing epochs,
-        thresholds, step sizes and floors.
+        The :class:`~repro.elastic.policy.ElasticPolicy` (or subclass)
+        governing epochs, step sizes and floors.
+    runner:
+        The owning :class:`~repro.workflow.runner.PipelineRunner`, when the
+        controller needs its rank-lifecycle hooks (``None`` otherwise).
     """
 
-    def __init__(self, ctx, policy: ElasticPolicy):
+    def __init__(self, ctx, policy: ElasticPolicy, runner=None):
         self.ctx = ctx
         self.policy = policy
+        self.runner = runner
         self.monitor = EpochMonitor(ctx)
         self.timeline: List[RebalanceEvent] = []
         self.epoch = 0
@@ -76,14 +85,9 @@ class ElasticController:
         #: stage's explicit grant when given, else its full-job rank count.
         #: Allocations (and the conservation invariant) are in these units,
         #: so scenario families with uneven grants still move real cores.
-        self.baseline: Dict[str, float] = {
-            s.name: float(
-                s.granted_cores
-                if s.granted_cores is not None
-                else placement.stage_total_ranks[s.name]
-            )
-            for s in pipeline.stages
-        }
+        #: The same rule seeds the perf model, so model targets and
+        #: controller holdings always share units.
+        self.baseline: Dict[str, float] = baseline_cores(pipeline)
         #: Current core holdings; the sum is invariant across resizes.
         self.allocations: Dict[str, float] = dict(self.baseline)
         self.total_cores = sum(self.baseline.values())
@@ -119,12 +123,17 @@ class ElasticController:
     def _on_epoch(self, now: float) -> None:
         self.epoch += 1
         health = self.monitor.advance(now)
-        if self.policy.stage_resize:
-            self._decide_resize(now, health)
-        if self.policy.work_stealing:
-            self._decide_lease(now, health)
+        if health.duration <= 0:
+            # A zero-length epoch carries no information (all fractions and
+            # progress are zero by construction); deciding on it would act on
+            # pure noise.
+            return
+        self._decide(now, health)
 
-    # -- stage resize -------------------------------------------------------
+    def _decide(self, now: float, health: EpochHealth) -> None:
+        raise NotImplementedError
+
+    # -- stage-resize mechanism ---------------------------------------------
     def _stage_floor(self, name: str) -> float:
         stage = self.ctx.pipeline.stage(name)
         fraction = stage.min_core_fraction
@@ -135,6 +144,77 @@ class ElasticController:
     def _resizable(self, name: str) -> bool:
         return self.ctx.pipeline.stage(name).resizable
 
+    def _transfer_cores(
+        self, now: float, donor: str, receiver: str, amount: Optional[float] = None
+    ) -> bool:
+        if amount is None:
+            amount = self.policy.resize_fraction * self.allocations[donor]
+        amount = min(amount, self.allocations[donor] - self._stage_floor(donor))
+        if amount <= MIN_TRANSFER:
+            return False
+        self.allocations[donor] -= amount
+        self.allocations[receiver] += amount
+        self._apply_allocation(donor)
+        self._apply_allocation(receiver)
+        self.timeline.append(
+            RebalanceEvent(
+                time=now,
+                epoch=self.epoch,
+                kind="stage_resize",
+                donor=donor,
+                receiver=receiver,
+                amount=amount,
+                detail={name: self.allocations[name] for name in (donor, receiver)},
+            )
+        )
+        return True
+
+    def _apply_allocation(self, name: str) -> None:
+        scale = self.allocations[name] / self.baseline[name]
+        self.ctx.cluster.set_node_allocation(self._stage_nodes[name], scale)
+
+    # -- bandwidth-lease mechanism -------------------------------------------
+    def _leasable(self, name: str) -> bool:
+        for coupling in self.ctx.pipeline.couplings:
+            if coupling.name == name:
+                return coupling.leasable
+        return False
+
+    def _transfer_share(
+        self, now: float, donor: str, receiver: str, amount: float
+    ) -> None:
+        self.bandwidth_shares[donor] -= amount
+        self.bandwidth_shares[receiver] += amount
+        self.ctx.coupling(donor).set_bandwidth_share(self.bandwidth_shares[donor])
+        self.ctx.coupling(receiver).set_bandwidth_share(self.bandwidth_shares[receiver])
+        self.timeline.append(
+            RebalanceEvent(
+                time=now,
+                epoch=self.epoch,
+                kind="bandwidth_lease",
+                donor=donor,
+                receiver=receiver,
+                amount=amount,
+                detail={n: self.bandwidth_shares[n] for n in (donor, receiver)},
+            )
+        )
+
+
+class ElasticController(ElasticControllerBase):
+    """The threshold (bang-bang) adaptation loop of PR 3.
+
+    Applies at most one decision per mechanism per epoch, triggered by the
+    policy's stall/idle/saturation thresholds (see the module docstring for
+    the trigger semantics).
+    """
+
+    def _decide(self, now: float, health: EpochHealth) -> None:
+        if self.policy.stage_resize:
+            self._decide_resize(now, health)
+        if self.policy.work_stealing:
+            self._decide_lease(now, health)
+
+    # -- stage resize -------------------------------------------------------
     def _decide_resize(self, now: float, health: EpochHealth) -> None:
         # A stalled source is idling its cores while its coupling's target is
         # the bottleneck: hand the idle cores to the target.
@@ -192,42 +272,7 @@ class ElasticController:
             )
             self._transfer_cores(now, donor, receiver, amount=amount)
 
-    def _transfer_cores(
-        self, now: float, donor: str, receiver: str, amount: Optional[float] = None
-    ) -> bool:
-        if amount is None:
-            amount = self.policy.resize_fraction * self.allocations[donor]
-        amount = min(amount, self.allocations[donor] - self._stage_floor(donor))
-        if amount <= MIN_TRANSFER:
-            return False
-        self.allocations[donor] -= amount
-        self.allocations[receiver] += amount
-        self._apply_allocation(donor)
-        self._apply_allocation(receiver)
-        self.timeline.append(
-            RebalanceEvent(
-                time=now,
-                epoch=self.epoch,
-                kind="stage_resize",
-                donor=donor,
-                receiver=receiver,
-                amount=amount,
-                detail={name: self.allocations[name] for name in (donor, receiver)},
-            )
-        )
-        return True
-
-    def _apply_allocation(self, name: str) -> None:
-        scale = self.allocations[name] / self.baseline[name]
-        self.ctx.cluster.set_node_allocation(self._stage_nodes[name], scale)
-
     # -- bandwidth leases ---------------------------------------------------
-    def _leasable(self, name: str) -> bool:
-        for coupling in self.ctx.pipeline.couplings:
-            if coupling.name == name:
-                return coupling.leasable
-        return False
-
     def _decide_lease(self, now: float, health: EpochHealth) -> None:
         shares = self.bandwidth_shares
         leasable = [n for n in shares if self._leasable(n)]
@@ -286,22 +331,3 @@ class ElasticController:
                 if amount > MIN_TRANSFER:
                     self._transfer_share(now, name, receiver, amount)
                 return
-
-    def _transfer_share(
-        self, now: float, donor: str, receiver: str, amount: float
-    ) -> None:
-        self.bandwidth_shares[donor] -= amount
-        self.bandwidth_shares[receiver] += amount
-        self.ctx.coupling(donor).set_bandwidth_share(self.bandwidth_shares[donor])
-        self.ctx.coupling(receiver).set_bandwidth_share(self.bandwidth_shares[receiver])
-        self.timeline.append(
-            RebalanceEvent(
-                time=now,
-                epoch=self.epoch,
-                kind="bandwidth_lease",
-                donor=donor,
-                receiver=receiver,
-                amount=amount,
-                detail={n: self.bandwidth_shares[n] for n in (donor, receiver)},
-            )
-        )

@@ -9,6 +9,9 @@ the controller can compare against policy thresholds:
   putting data, as a fraction of the epoch's rank-seconds;
 * a stage's **stall fraction** — time its ranks spent blocked on a full
   producer buffer (the transports' ``stall_time`` counter);
+* a stage's **work fraction** and **progress** — core-bound work only and
+  the workflow steps the stage itself advanced, the two signals the
+  performance-model calibration consumes (see ``docs/perf-model.md``);
 * a coupling's **stall fraction** and **bytes moved** — the same signals
   scoped to one coupling's stats channel, plus the instantaneous producer
   buffer occupancy reported through the coupling context's buffer hook.
@@ -30,6 +33,12 @@ __all__ = ["StageHealth", "CouplingHealth", "EpochHealth", "EpochMonitor"]
 BUSY_KEYS = ("compute_time", "analysis_time", "put_time")
 #: Rank-stat keys counted as "the rank was blocked by backpressure".
 STALL_KEYS = ("stall_time",)
+#: Rank-stat keys counted as core-bound work (compute only, no transfer/put)
+#: — the share of the epoch that scales with the stage's core allocation,
+#: which is what the performance model's ``w_s`` coefficient measures.
+WORK_KEYS = ("compute_time", "analysis_time")
+#: Rank-stat keys carrying the stages' own progress counters.
+PROGRESS_KEYS = ("steps_done", "bytes_done")
 
 
 @dataclass(frozen=True)
@@ -41,6 +50,16 @@ class StageHealth:
     busy_fraction: float
     #: Fraction of the epoch's rank-seconds spent stalled on backpressure.
     stall_fraction: float
+    #: Fraction of the epoch's rank-seconds spent in core-bound work only
+    #: (compute/analysis, excluding puts — which can overlap backpressure
+    #: waits and are bounded by the coupling, not the stage's cores).
+    work_fraction: float = 0.0
+    #: Workflow steps the stage itself advanced during the epoch: sources
+    #: count completed steps directly, consuming stages convert analysed
+    #: bytes.  Unlike coupling byte flow this cannot run ahead of the stage
+    #: (unbounded delivery queues make transfers complete long before slow
+    #: consumers catch up).
+    progress_steps: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -77,15 +96,31 @@ class EpochMonitor:
         self.ctx = ctx
         self._deltas = CounterDeltas()
         self._last_time = float(ctx.env.now)
+        #: Bytes a consuming stage must analyse to complete one workflow step
+        #: (all inbound couplings' per-step payloads; 0 for source stages).
+        self._stage_step_bytes: Dict[str, float] = {
+            s.name: float(
+                sum(c.step_output_bytes() * c.sim_ranks for c in ctx.inbound(s.name))
+            )
+            for s in ctx.pipeline.stages
+        }
 
     def _stage_sums(self, stage: str) -> Dict[str, float]:
         sums: Dict[str, float] = {}
         for stats in self.ctx.stage_rank_stats[stage].values():
-            for key in BUSY_KEYS + STALL_KEYS:
+            for key in BUSY_KEYS + STALL_KEYS + PROGRESS_KEYS:
                 value = stats.get(key)
                 if value:
                     sums[key] = sums.get(key, 0.0) + value
         return sums
+
+    def _stage_progress(self, stage: str, delta: Dict[str, float]) -> float:
+        """Workflow steps the stage advanced, from its own progress counters."""
+        step_bytes = self._stage_step_bytes[stage]
+        if step_bytes > 0:
+            return delta.get("bytes_done", 0.0) / step_bytes
+        ranks = self.ctx.stage_ranks(stage)
+        return delta.get("steps_done", 0.0) / ranks if ranks > 0 else 0.0
 
     def advance(self, now: float) -> EpochHealth:
         """Consume the counters accumulated since the last call.
@@ -101,11 +136,18 @@ class EpochMonitor:
             delta = self._deltas.advance(f"stage:{name}", self._stage_sums(name))
             rank_seconds = duration * self.ctx.stage_ranks(name)
             if rank_seconds <= 0:
-                busy = stall = 0.0
+                busy = stall = work = 0.0
             else:
                 busy = sum(delta.get(key, 0.0) for key in BUSY_KEYS) / rank_seconds
                 stall = sum(delta.get(key, 0.0) for key in STALL_KEYS) / rank_seconds
-            stages[name] = StageHealth(name, busy_fraction=busy, stall_fraction=stall)
+                work = sum(delta.get(key, 0.0) for key in WORK_KEYS) / rank_seconds
+            stages[name] = StageHealth(
+                name,
+                busy_fraction=busy,
+                stall_fraction=stall,
+                work_fraction=work,
+                progress_steps=self._stage_progress(name, delta),
+            )
 
         couplings: Dict[str, CouplingHealth] = {}
         for cctx in self.ctx.couplings:

@@ -113,6 +113,20 @@ class ElasticPolicy:
         """A copy of the policy with ``changes`` applied."""
         return replace(self, **changes)
 
+    def build_controller(self, ctx, runner=None):
+        """Instantiate the controller that executes this policy.
+
+        The base policy builds the threshold
+        :class:`~repro.elastic.controller.ElasticController`; subclasses
+        (e.g. :class:`~repro.elastic.model_driven.ModelDrivenPolicy`) return
+        their own decision layer.  ``runner`` is the owning
+        :class:`~repro.workflow.runner.PipelineRunner`, forwarded so
+        controllers can reach its rank-lifecycle hooks.
+        """
+        from repro.elastic.controller import ElasticController
+
+        return ElasticController(ctx, self, runner=runner)
+
 
 @dataclass(frozen=True)
 class RebalanceEvent:

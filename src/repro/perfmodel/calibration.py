@@ -1,0 +1,104 @@
+"""Online calibration primitives for the analytical pipeline model.
+
+The predictions of :class:`~repro.perfmodel.pipeline.PipelinePerfModel` start
+from *priors* derived from the workload cost models and the cluster spec, and
+are then corrected from the counters each controller epoch observes.  The
+correction is a plain exponentially-weighted moving average: given a new
+per-epoch estimate ``x`` of a model coefficient whose current belief is
+``x̄``, the update rule is
+
+    ``x̄ ← (1 - α) * x̄ + α * x``
+
+with smoothing weight ``α`` (``smoothing``).  The EWMA deliberately trades
+responsiveness against noise: a small ``α`` rides out one-epoch bursts (the
+bursty-analytics scenarios), a large ``α`` tracks genuine drift quickly.
+``docs/perf-model.md`` documents the rule and its assumptions next to the
+equations it feeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["EwmaEstimate", "CalibrationBank"]
+
+
+class EwmaEstimate:
+    """One exponentially smoothed model coefficient with a prior.
+
+    The estimate starts at ``prior`` and folds every observation in with
+    weight ``smoothing``; :attr:`observations` counts how many epochs have
+    actually contributed, so callers can distinguish a cold prior from a
+    calibrated value.
+    """
+
+    __slots__ = ("value", "smoothing", "observations")
+
+    def __init__(self, prior: float, smoothing: float = 0.5):
+        if prior < 0:
+            raise ValueError("prior must be non-negative")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must lie in (0, 1]")
+        self.value = float(prior)
+        self.smoothing = float(smoothing)
+        self.observations = 0
+
+    def observe(self, value: float) -> float:
+        """Fold one per-epoch estimate into the belief and return the new value.
+
+        The prior participates in the blend like any earlier observation
+        (it is derived from the actual workload cost models, so it anchors
+        the estimate against noisy start-up epochs while the EWMA converges
+        to the measured value geometrically).
+        """
+        if value < 0:
+            raise ValueError("observed value must be non-negative")
+        self.value = (1.0 - self.smoothing) * self.value + self.smoothing * float(value)
+        self.observations += 1
+        return self.value
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether at least one epoch has corrected the prior."""
+        return self.observations > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<EwmaEstimate {self.value:.6g} "
+            f"({'calibrated' if self.calibrated else 'prior'}, n={self.observations})>"
+        )
+
+
+class CalibrationBank:
+    """A named family of :class:`EwmaEstimate` coefficients.
+
+    Convenience wrapper used by the pipeline model for its per-stage and
+    per-coupling coefficient tables; exposes the current values as a plain
+    dict for logging and tests.
+    """
+
+    def __init__(self, priors: Mapping[str, float], smoothing: float = 0.5):
+        self._estimates: Dict[str, EwmaEstimate] = {
+            name: EwmaEstimate(prior, smoothing) for name, prior in priors.items()
+        }
+
+    def __getitem__(self, name: str) -> EwmaEstimate:
+        return self._estimates[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._estimates
+
+    def value(self, name: str) -> float:
+        """Current belief for coefficient ``name``."""
+        return self._estimates[name].value
+
+    def values(self) -> Dict[str, float]:
+        """Every coefficient's current belief, keyed by name."""
+        return {name: est.value for name, est in self._estimates.items()}
+
+    def observe(self, name: str, value: float) -> float:
+        """Fold one observation into coefficient ``name``."""
+        return self._estimates[name].observe(value)
+
+    def __repr__(self) -> str:
+        return f"<CalibrationBank {self.values()}>"

@@ -1,0 +1,359 @@
+"""Analytical throughput model of an arbitrary stage/coupling pipeline.
+
+This generalizes the Section 4.4 two-application estimator
+(:mod:`repro.perfmodel.zipper`) to the declarative
+:class:`~repro.workflow.pipeline.PipelineSpec` graphs: every stage ``s`` is
+summarized by one coefficient ``w_s`` — the *granted-core-seconds of work one
+workflow step costs the stage* — and every coupling ``c`` by its per-step
+payload ``d_c`` (bytes) and a *unit bandwidth* ``b_c`` (bytes/second drained
+at bandwidth share 1.0).  With core allocation ``a_s``, assist-rank factor
+``r_s`` and bandwidth share ``β_c`` the model predicts
+
+* per-stage step time      ``t_s(a, r) = w_s / (a_s · r_s)``  (throughput ``1/t_s``),
+* per-coupling step time   ``t_c(β)    = d_c / (β_c · b_c)``,
+* pipeline step time       ``T = max(max_s t_s, max_c t_c)`` — the bottleneck
+  ``max`` of the paper's ``T_t2s`` estimate, applied per step.
+
+``w_s`` and ``b_c`` start from priors derived from the workload cost models
+and the cluster spec, and are re-estimated every controller epoch from the
+:class:`~repro.elastic.monitor.EpochMonitor` counters through the EWMA rule
+in :mod:`repro.perfmodel.calibration`.  The inverse problem — *which* core
+split and bandwidth shares minimize ``T`` — has the closed form "allocate
+proportionally to ``w``" (resp. ``d/b``), implemented with floor-aware
+water-filling in :meth:`PipelinePerfModel.optimal_core_split` and
+:meth:`PipelinePerfModel.optimal_bandwidth_shares`.  Every equation is
+documented symbol-by-symbol in ``docs/perf-model.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.perfmodel.calibration import CalibrationBank
+
+__all__ = ["PipelinePerfModel", "baseline_cores", "proportional_fill"]
+
+#: Progress (in workflow steps per epoch) below which an epoch teaches the
+#: calibration nothing: the per-step estimates would divide by ~0.
+MIN_PROGRESS_STEPS = 0.1
+
+#: Stage busy fraction below which an epoch's work estimate is discarded —
+#: a stage that barely ran (pipeline fill/drain, a stalled upstream) says
+#: nothing about its steady per-step cost.
+MIN_BUSY_FRACTION = 0.02
+
+
+def baseline_cores(pipeline) -> Dict[str, float]:
+    """Represented cores each stage holds under the static plan.
+
+    The stage's explicit ``granted_cores`` when given, else its resolved
+    full-job rank count — the same accounting rule the elastic controllers
+    use, so model targets and controller allocations share units.
+    """
+    return {
+        stage.name: float(
+            stage.granted_cores
+            if stage.granted_cores is not None
+            else pipeline.resolved_total_ranks(stage.name)
+        )
+        for stage in pipeline.stages
+    }
+
+
+def proportional_fill(
+    total: float,
+    weights: Mapping[str, float],
+    floors: Mapping[str, float],
+    ceilings: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Split ``total`` proportionally to ``weights`` subject to per-key floors.
+
+    Floor-aware water-filling: keys whose proportional share falls below
+    their floor are pinned at the floor and removed from the pool, and the
+    remainder is re-split among the others (symmetrically for ceilings).
+    With all weights zero the split degenerates to the floors plus an even
+    share of the slack.
+    """
+    names = list(weights)
+    if not names:
+        return {}
+    floor_sum = sum(floors.get(n, 0.0) for n in names)
+    if total < floor_sum - 1e-9:
+        raise ValueError(f"total {total} cannot satisfy floors summing to {floor_sum}")
+    pinned: Dict[str, float] = {}
+    free = list(names)
+    while free:
+        pool = total - sum(pinned.values())
+        weight_sum = sum(weights[n] for n in free)
+        if weight_sum <= 0:
+            share = pool / len(free)
+            shares = {n: share for n in free}
+        else:
+            shares = {n: pool * weights[n] / weight_sum for n in free}
+        # Pin only the single worst violator per pass: every other key's
+        # share is recomputed against the remaining pool, which is what
+        # keeps the split conserved (pinning several at once would judge
+        # later keys by shares that the earlier pins already invalidated).
+        worst_name = None
+        worst_excess = 1e-12
+        worst_bound = 0.0
+        for name in free:
+            floor = floors.get(name, 0.0)
+            ceiling = ceilings.get(name, float("inf")) if ceilings else float("inf")
+            if floor - shares[name] > worst_excess:
+                worst_name, worst_excess, worst_bound = name, floor - shares[name], floor
+            if shares[name] - ceiling > worst_excess:
+                worst_name, worst_excess, worst_bound = name, shares[name] - ceiling, ceiling
+        if worst_name is None:
+            pinned.update(shares)
+            return pinned
+        pinned[worst_name] = worst_bound
+        free.remove(worst_name)
+    return pinned
+
+
+class PipelinePerfModel:
+    """Per-stage/per-coupling throughput predictor with online calibration.
+
+    Parameters
+    ----------
+    pipeline:
+        The :class:`~repro.workflow.pipeline.PipelineSpec` being executed.
+    smoothing:
+        EWMA weight of each epoch's estimates (see
+        :mod:`repro.perfmodel.calibration`).
+    min_progress_steps:
+        Epochs that advanced fewer workflow steps than this teach the
+        calibration nothing (guards the per-step divisions; also makes
+        zero-length epochs a no-op).
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        smoothing: float = 0.5,
+        min_progress_steps: float = MIN_PROGRESS_STEPS,
+    ):
+        self.pipeline = pipeline
+        self.min_progress_steps = float(min_progress_steps)
+        self.baseline = baseline_cores(pipeline)
+        self.epochs_observed = 0
+
+        cluster = pipeline.cluster
+        core_speed = cluster.node.core_speed
+        rpn = pipeline.ranks_per_modelled_node
+
+        #: Modelled ranks per stage (the simulated subset).
+        self.stage_ranks: Dict[str, int] = {
+            s.name: pipeline.modelled_ranks(s.name) for s in pipeline.stages
+        }
+        #: Bytes every coupling carries per workflow step (all source ranks).
+        self.coupling_bytes_per_step: Dict[str, float] = {
+            c.name: float(
+                pipeline.stage_output_bytes_per_step(c.source)
+                * pipeline.modelled_ranks(c.source)
+            )
+            for c in pipeline.couplings
+        }
+
+        # -- priors ---------------------------------------------------------
+        # Stage work per step, in granted-core-seconds: the wall seconds one
+        # step takes at the static grant times the granted cores (the grant
+        # is what the scenario's rate factors already encode).
+        work_priors: Dict[str, float] = {}
+        for stage in pipeline.stages:
+            name = stage.name
+            inbound = pipeline.inbound(name)
+            if not inbound:
+                wall = stage.workload.sim_step_seconds_for_block(
+                    pipeline.stage_block_bytes(name)
+                ) / core_speed
+            else:
+                per_rank_bytes = sum(
+                    pipeline.stage_output_bytes_per_step(c.source)
+                    * pipeline.modelled_ranks(c.source)
+                    for c in inbound
+                ) / max(1, self.stage_ranks[name])
+                wall = stage.workload.analysis_seconds_per_byte * per_rank_bytes / core_speed
+            work_priors[name] = self.baseline[name] * wall
+        # Coupling unit bandwidth: the aggregate NIC share of the source
+        # stage's modelled nodes (each modelled node is entitled to the
+        # rpn/cores fraction of a real node's link, exactly as the runner
+        # scales the cluster spec).
+        node_fraction = rpn / cluster.node.cores
+        bandwidth_priors: Dict[str, float] = {}
+        for coupling in pipeline.couplings:
+            source_nodes = -(-self.stage_ranks[coupling.source] // rpn)
+            bandwidth_priors[coupling.name] = max(
+                1.0, cluster.network.link_bandwidth * node_fraction * source_nodes
+            )
+
+        self.work_per_step = CalibrationBank(work_priors, smoothing)
+        self.unit_bandwidth = CalibrationBank(bandwidth_priors, smoothing)
+
+    # -- calibration ---------------------------------------------------------
+    def coupling_progress(self, health) -> Dict[str, float]:
+        """Workflow steps each coupling moved during ``health``'s epoch."""
+        progress: Dict[str, float] = {}
+        for name, coupling in health.couplings.items():
+            per_step = self.coupling_bytes_per_step.get(name, 0.0)
+            progress[name] = coupling.bytes_moved / per_step if per_step > 0 else 0.0
+        return progress
+
+    def observe(
+        self,
+        health,
+        allocations: Mapping[str, float],
+        shares: Mapping[str, float],
+    ) -> None:
+        """Re-estimate the model coefficients from one epoch's health report.
+
+        ``allocations`` and ``shares`` are the holdings that were in force
+        *during* the epoch.  Epochs of zero duration, or with less than
+        ``min_progress_steps`` of step progress for a stage/coupling, leave
+        the corresponding coefficients untouched.
+        """
+        duration = health.duration
+        if duration <= 0:
+            return
+        progress = self.coupling_progress(health)
+        for name, coupling in health.couplings.items():
+            if name not in self.unit_bandwidth:
+                continue
+            share = float(shares.get(name, 1.0))
+            if progress.get(name, 0.0) >= self.min_progress_steps and share > 0:
+                self.unit_bandwidth.observe(name, coupling.bytes_moved / (duration * share))
+        for name, stage in health.stages.items():
+            if name not in self.work_per_step:
+                continue
+            steps = stage.progress_steps
+            if steps < self.min_progress_steps or stage.work_fraction < MIN_BUSY_FRACTION:
+                continue
+            work_core_seconds = stage.work_fraction * duration * float(
+                allocations.get(name, self.baseline[name])
+            )
+            self.work_per_step.observe(name, work_core_seconds / steps)
+        self.epochs_observed += 1
+
+    # -- predictions ---------------------------------------------------------
+    def stage_step_time(
+        self,
+        name: str,
+        cores: Optional[float] = None,
+        rank_factor: float = 1.0,
+    ) -> float:
+        """Predicted wall seconds one workflow step costs stage ``name``.
+
+        ``cores`` defaults to the stage's baseline grant; ``rank_factor``
+        scales the delivered capacity for elastic rank counts (a stage whose
+        ``n`` modelled ranks gained ``k`` assists delivers
+        ``(n + k) / n`` × the capacity of the same grant).
+        """
+        capacity = (self.baseline[name] if cores is None else float(cores)) * rank_factor
+        if capacity <= 0:
+            return float("inf")
+        return self.work_per_step.value(name) / capacity
+
+    def stage_throughput(
+        self,
+        name: str,
+        cores: Optional[float] = None,
+        rank_factor: float = 1.0,
+    ) -> float:
+        """Predicted steps/second of stage ``name`` (inverse of the step time)."""
+        step_time = self.stage_step_time(name, cores, rank_factor)
+        return 1.0 / step_time if step_time > 0 else float("inf")
+
+    def coupling_step_time(self, name: str, share: Optional[float] = None) -> float:
+        """Predicted wall seconds one step's payload occupies coupling ``name``."""
+        share = 1.0 if share is None else float(share)
+        bandwidth = self.unit_bandwidth.value(name) * share
+        if bandwidth <= 0:
+            return float("inf")
+        return self.coupling_bytes_per_step[name] / bandwidth
+
+    def predicted_step_time(
+        self,
+        allocations: Optional[Mapping[str, float]] = None,
+        shares: Optional[Mapping[str, float]] = None,
+        rank_factors: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        """Bottleneck step time of the whole pipeline — ``max`` over stages and couplings."""
+        allocations = allocations or {}
+        shares = shares or {}
+        rank_factors = rank_factors or {}
+        times = [
+            self.stage_step_time(
+                s.name, allocations.get(s.name), rank_factors.get(s.name, 1.0)
+            )
+            for s in self.pipeline.stages
+        ]
+        times.extend(
+            self.coupling_step_time(c.name, shares.get(c.name))
+            for c in self.pipeline.couplings
+        )
+        return max(times) if times else 0.0
+
+    def bottleneck(
+        self,
+        allocations: Optional[Mapping[str, float]] = None,
+        shares: Optional[Mapping[str, float]] = None,
+    ) -> str:
+        """Name of the stage or coupling predicted to bind the pipeline."""
+        allocations = allocations or {}
+        shares = shares or {}
+        candidates: Dict[str, float] = {
+            s.name: self.stage_step_time(s.name, allocations.get(s.name))
+            for s in self.pipeline.stages
+        }
+        for c in self.pipeline.couplings:
+            candidates[c.name] = self.coupling_step_time(c.name, shares.get(c.name))
+        return max(candidates, key=candidates.get)
+
+    # -- inverse problems ----------------------------------------------------
+    def optimal_core_split(
+        self,
+        allocations: Mapping[str, float],
+        resizable: Iterable[str],
+        floors: Mapping[str, float],
+    ) -> Dict[str, float]:
+        """Core split predicted to minimize the pipeline's bottleneck step time.
+
+        Minimizing ``max_s w_s / a_s`` under ``Σ a_s = const`` equalizes the
+        predicted stage step times, i.e. allocates ``a_s ∝ w_s`` — restricted
+        to the ``resizable`` stages (the others keep their current holding)
+        and clamped to the per-stage ``floors`` by water-filling.
+        """
+        resizable = [n for n in resizable]
+        target = {n: float(a) for n, a in allocations.items()}
+        if not resizable:
+            return target
+        pool = sum(target[n] for n in resizable)
+        weights = {n: self.work_per_step.value(n) for n in resizable}
+        target.update(proportional_fill(pool, weights, floors))
+        return target
+
+    def optimal_bandwidth_shares(
+        self,
+        shares: Mapping[str, float],
+        leasable: Iterable[str],
+        min_share: float,
+        max_share: float,
+    ) -> Dict[str, float]:
+        """Bandwidth shares predicted to equalize per-coupling transfer times.
+
+        Same proportional argument as the core split with weights
+        ``d_c / b_c`` (per-step transfer seconds at unit share); the sum over
+        the leasable couplings is conserved and every share is clamped into
+        ``[min_share, max_share]``.
+        """
+        leasable = [n for n in leasable]
+        target = {n: float(v) for n, v in shares.items()}
+        if len(leasable) < 2:
+            return target
+        pool = sum(target[n] for n in leasable)
+        weights = {n: self.coupling_step_time(n, share=1.0) for n in leasable}
+        floors = {n: min_share for n in leasable}
+        ceilings = {n: max_share for n in leasable}
+        target.update(proportional_fill(pool, weights, floors, ceilings))
+        return target

@@ -19,8 +19,9 @@ The kernel is deliberately compact but complete:
   Zipper's work-stealing writer thread).
 * :class:`RandomStreams` — named, reproducible random-number streams.
 * :class:`TimeSeriesMonitor`, :class:`TallyMonitor` — statistics collection.
-* :class:`PeriodicController`, :class:`CounterDeltas` — periodic control-loop
-  events and per-epoch counter deltas (used by the elastic adaptation layer).
+* :class:`PeriodicController`, :class:`CounterDeltas`, :class:`PIDSmoother` —
+  periodic control-loop events, per-epoch counter deltas and PID smoothing
+  (used by the elastic adaptation layer).
 
 Example
 -------
@@ -66,7 +67,7 @@ from repro.simcore.sync import (
 )
 from repro.simcore.rng import RandomStreams
 from repro.simcore.monitor import TimeSeriesMonitor, TallyMonitor
-from repro.simcore.control import PeriodicController, CounterDeltas
+from repro.simcore.control import PeriodicController, CounterDeltas, PIDSmoother
 
 __all__ = [
     "SimulationError",
@@ -95,4 +96,5 @@ __all__ = [
     "TallyMonitor",
     "PeriodicController",
     "CounterDeltas",
+    "PIDSmoother",
 ]

@@ -21,7 +21,7 @@ from typing import Callable, Dict, Mapping, Optional
 from repro.simcore.engine import Environment
 from repro.simcore.events import Process, Timeout
 
-__all__ = ["PeriodicController", "CounterDeltas"]
+__all__ = ["PeriodicController", "CounterDeltas", "PIDSmoother"]
 
 
 class PeriodicController:
@@ -99,6 +99,68 @@ class PeriodicController:
             f"<PeriodicController {self.name!r} interval={self.interval:g} "
             f"wakeups={self.wakeups}>"
         )
+
+
+class PIDSmoother:
+    """Discrete PID filter for smoothing in-simulation control actions.
+
+    Bang-bang controllers (fixed-size step whenever a threshold trips)
+    oscillate around the balance point; feeding the raw error ``e`` (target
+    minus current holding) through
+
+        ``u = kp * e + ki * Σ e·dt + kd * (e - e_prev) / dt``
+
+    and applying ``u`` instead of a fixed step turns the step size into a
+    damped approach: large when far from the target, vanishing near it.  The
+    integral term is clamped to ``integral_limit`` (anti-windup) so a long
+    period of unreachable targets — e.g. a floor-pinned stage — cannot store
+    an arbitrarily large kick.
+
+    The smoother is pure arithmetic: it schedules nothing and holds no
+    simulation state, so controllers that never *apply* its output leave the
+    simulation untouched.
+    """
+
+    __slots__ = ("kp", "ki", "kd", "integral_limit", "integral", "previous_error")
+
+    def __init__(
+        self,
+        kp: float = 0.5,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        integral_limit: Optional[float] = None,
+    ):
+        if kp < 0 or ki < 0 or kd < 0:
+            raise ValueError("PID gains must be non-negative")
+        if integral_limit is not None and integral_limit <= 0:
+            raise ValueError("integral_limit must be positive when given")
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self.integral_limit = integral_limit
+        self.integral = 0.0
+        self.previous_error: Optional[float] = None
+
+    def update(self, error: float, dt: float = 1.0) -> float:
+        """Fold one error sample in and return the smoothed control output."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.integral += error * dt
+        if self.integral_limit is not None:
+            self.integral = max(-self.integral_limit, min(self.integral_limit, self.integral))
+        derivative = 0.0
+        if self.kd > 0 and self.previous_error is not None:
+            derivative = (error - self.previous_error) / dt
+        self.previous_error = error
+        return self.kp * error + self.ki * self.integral + self.kd * derivative
+
+    def reset(self) -> None:
+        """Forget the integral and derivative history."""
+        self.integral = 0.0
+        self.previous_error = None
+
+    def __repr__(self) -> str:
+        return f"<PIDSmoother kp={self.kp:g} ki={self.ki:g} kd={self.kd:g}>"
 
 
 class CounterDeltas:

@@ -25,7 +25,8 @@ MiB = 1024 * 1024
 
 #: Figure sweeps addressable from the command line ("pipelines" runs the
 #: multi-stage chain/fan-out scenario families through the pipeline API;
-#: "elastic" runs the bursty-analytics elastic-vs-static comparison).
+#: "elastic" runs the bursty-analytics elastic-vs-static comparison and
+#: "elastic-model" the threshold-vs-model-driven policy comparison).
 FIGURES = (
     "figure2",
     "figure12",
@@ -35,6 +36,7 @@ FIGURES = (
     "figure18",
     "pipelines",
     "elastic",
+    "elastic-model",
 )
 
 
@@ -58,13 +60,18 @@ def build_spec(args: argparse.Namespace) -> SweepSpec:
             core_counts=cores or (384, 768),
             representative_sim_ranks=args.sim_ranks,
         )
-    if args.figure == "elastic":
+    if args.figure in ("elastic", "elastic-model"):
         if cores and len(cores) > 1:
             raise SystemExit(
-                "error: the elastic figure sweeps static grants within one "
+                "error: the elastic figures sweep static grants within one "
                 f"total_cores value; pass a single --cores value, got {args.cores!r}"
             )
-        return experiments.elastic_vs_static_spec(
+        factory = (
+            experiments.elastic_vs_static_spec
+            if args.figure == "elastic"
+            else experiments.model_vs_threshold_spec
+        )
+        return factory(
             steps=args.steps,
             total_cores=cores[0] if cores else 384,
             representative_sim_ranks=args.sim_ranks,
@@ -103,7 +110,7 @@ def _parser() -> argparse.ArgumentParser:
         default="",
         help=(
             "comma-separated core counts (figure14/16/18 and pipelines); "
-            "elastic accepts a single value (the total to split)"
+            "elastic/elastic-model accept a single value (the total to split)"
         ),
     )
     parser.add_argument("--store", default="", help="JSONL result store path (enables resume)")
@@ -112,10 +119,12 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.sweep``; returns the exit code."""
     args = _parser().parse_args(argv)
     spec = build_spec(args)
 
     def progress(record: SweepRecord, done: int, total: int) -> None:
+        """Print one progress row as each scenario finishes."""
         status = "skip" if record.skipped else ("ERROR" if not record.ok else "ok")
         print(f"[{done}/{total}] {record.label:<32s} {status} ({record.elapsed:.2f}s)", flush=True)
 

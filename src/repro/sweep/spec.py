@@ -87,6 +87,7 @@ class SweepCase:
 
     @property
     def config_digest(self) -> str:
+        """Cached :func:`config_hash` of the case's configuration."""
         if self._hash is None:
             self._hash = config_hash(self.config)
         return self._hash
@@ -165,6 +166,7 @@ class ParamGrid:
         return self.label.format(**params)
 
     def cases(self) -> Iterator[SweepCase]:
+        """Expand the grid into labelled cases (leftmost axis slowest)."""
         names = [name for name, _ in self.axes]
         for combo in itertools.product(*(values for _, values in self.axes)):
             params = dict(zip(names, combo))
@@ -212,10 +214,12 @@ class SweepSpec:
         ]
 
     def add_grid(self, grid: ParamGrid) -> "SweepSpec":
+        """Append a grid to the sweep (returns ``self`` for chaining)."""
         self.grids.append(grid)
         return self
 
     def add_case(self, label: str, config: AnyConfig) -> "SweepSpec":
+        """Append one hand-picked case (returns ``self`` for chaining)."""
         self.extra_cases.append(SweepCase(label, config))
         return self
 

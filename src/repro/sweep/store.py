@@ -53,6 +53,13 @@ def result_payload(result: WorkflowResult) -> Dict[str, object]:
         # The elastic controller's decision timeline, in decision order;
         # RebalanceEvent.from_dict rebuilds the events on load.
         payload["rebalances"] = [event.as_dict() for event in result.rebalances]
+    if result.stage_assist_ranks:
+        # Lifetime spawn census of the rank-elastic stages (the per-epoch
+        # counts are on the rebalance timeline's rank_spawn/rank_retire
+        # events).
+        payload["stage_assist_ranks"] = {
+            name: int(count) for name, count in result.stage_assist_ranks.items()
+        }
     return payload
 
 
@@ -83,6 +90,7 @@ class ResultStore:
                     yield record
 
     def load(self) -> List[Dict[str, object]]:
+        """Every intact record as a list (see :meth:`iter_records`)."""
         return list(self.iter_records())
 
     def completed_keys(self) -> Set[Tuple[str, str]]:

@@ -60,11 +60,18 @@ class _BaseDataSpaces(Transport):
             yield env.timeout(self.interface_overhead)
         ctx.sim_rank_stats[rank]["lock_time"] += env.now - lock_start
 
-        # Push the data to this rank's staging server node.
+        # Push the data to this rank's staging server node.  The bulk
+        # transfer honours the coupling's elastic bandwidth lease (the tiny
+        # lock/metadata round trips stay unleased — they are latency-, not
+        # bandwidth-bound).
         server_node = ctx.staging_node(ctx.staging_target_of(rank))
         put_start = env.now
         yield from ctx.cluster.network.transfer(
-            node, server_node, nbytes, flow="dataspaces-put"
+            node,
+            server_node,
+            nbytes,
+            flow="dataspaces-put",
+            rate_scale=ctx.bandwidth_share,
         )
         ctx.sim_rank_stats[rank]["transfer_busy_time"] += env.now - put_start
         ctx.stats["bytes_network"] += nbytes
@@ -99,7 +106,11 @@ class _BaseDataSpaces(Transport):
                 server_node = ctx.staging_node(ctx.staging_target_of(rank))
                 get_start = env.now
                 yield from ctx.cluster.network.transfer(
-                    server_node, node, ctx.step_output_bytes(), flow="dataspaces-get"
+                    server_node,
+                    node,
+                    ctx.step_output_bytes(),
+                    flow="dataspaces-get",
+                    rate_scale=ctx.bandwidth_share,
                 )
                 ctx.analysis_rank_stats[arank]["get_time"] += env.now - get_start
             yield from self.locks.request(ctx, node, kind="unlock")

@@ -128,7 +128,8 @@ class DecafTransport(Transport):
         if serialization > 0:
             yield from ctx.cluster.node(node).compute(serialization)
         yield from ctx.cluster.network.transfer(
-            node, link_node, nbytes, flow="decaf-put"
+            node, link_node, nbytes, flow="decaf-put",
+            rate_scale=ctx.bandwidth_share,
         )
         ctx.sim_rank_stats[rank]["transfer_busy_time"] += env.now - put_start
         ctx.stats["bytes_network"] += nbytes
@@ -166,7 +167,8 @@ class DecafTransport(Transport):
             for prank, pbytes in sorted(pending[step].items()):
                 arank = ctx.consumer_of(prank)
                 yield from ctx.cluster.network.transfer(
-                    link_node, ctx.analysis_node(arank), pbytes, flow="decaf-forward"
+                    link_node, ctx.analysis_node(arank), pbytes,
+                    flow="decaf-forward", rate_scale=ctx.bandwidth_share,
                 )
                 yield self._delivery[arank].put((prank, step, pbytes))
             for prank in pending[step]:

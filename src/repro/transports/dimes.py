@@ -55,9 +55,13 @@ class _BaseDIMES(Transport):
             yield env.timeout(self.interface_overhead)
         ctx.sim_rank_stats[rank]["lock_time"] += env.now - lock_start
 
-        # Insert the results into the local RDMA buffer (a node-local copy).
+        # Insert the results into the local RDMA buffer (a node-local copy;
+        # also subject to the coupling's bandwidth lease, like the remote
+        # pulls below).
         put_start = env.now
-        yield from ctx.cluster.network.transfer(node, node, nbytes, flow="dimes-put")
+        yield from ctx.cluster.network.transfer(
+            node, node, nbytes, flow="dimes-put", rate_scale=ctx.bandwidth_share
+        )
         ctx.sim_rank_stats[rank]["transfer_busy_time"] += env.now - put_start
 
         # Register the block's location with the metadata server + unlock.
@@ -87,7 +91,11 @@ class _BaseDIMES(Transport):
             for rank in producers:
                 get_start = env.now
                 yield from ctx.cluster.network.transfer(
-                    ctx.sim_node(rank), node, ctx.step_output_bytes(), flow="dimes-get"
+                    ctx.sim_node(rank),
+                    node,
+                    ctx.step_output_bytes(),
+                    flow="dimes-get",
+                    rate_scale=ctx.bandwidth_share,
                 )
                 ctx.analysis_rank_stats[arank]["get_time"] += env.now - get_start
                 ctx.stats["bytes_network"] += ctx.step_output_bytes()

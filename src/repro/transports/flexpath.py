@@ -83,7 +83,9 @@ class FlexpathTransport(Transport):
         start = env.now
         if self.epoch_overhead > 0:
             yield Timeout(env, self.epoch_overhead)
-        yield from ctx.cluster.network.transfer(node, node, nbytes, flow="flexpath-buffer")
+        yield from ctx.cluster.network.transfer(
+            node, node, nbytes, flow="flexpath-buffer", rate_scale=ctx.bandwidth_share
+        )
         ctx.sim_rank_stats[rank]["buffer_time"] += env.now - start
         self._buffered[rank][step] = nbytes
         assert self._board is not None
@@ -103,7 +105,8 @@ class FlexpathTransport(Transport):
                 nbytes = self._buffered[rank].pop(step, ctx.step_output_bytes())
                 # Fetch request to the publisher...
                 yield from ctx.cluster.network.transfer(
-                    node, ctx.sim_node(rank), self.fetch_request_bytes, flow="flexpath-fetch"
+                    node, ctx.sim_node(rank), self.fetch_request_bytes,
+                    flow="flexpath-fetch", rate_scale=ctx.bandwidth_share,
                 )
                 # ...followed by the data reply.  The transfer crosses the
                 # fabric *and* is bounded by the publisher's share of its
@@ -113,7 +116,7 @@ class FlexpathTransport(Transport):
                 get_start = env.now
                 yield from ctx.cluster.network.transfer(
                     ctx.sim_node(rank), node, nbytes, flow="flexpath-data",
-                    congestion_weight=1.5,
+                    congestion_weight=1.5, rate_scale=ctx.bandwidth_share,
                 )
                 socket_time = nbytes / rank_socket_bw
                 fabric_time = env.now - get_start

@@ -192,6 +192,7 @@ class ZipperTransport(Transport):
                 # Never consume the end-of-stream marker: hand it back for the
                 # sender and stop stealing.
                 yield state.buffer.put(desc)
+                ctx.note_buffer_level(rank, len(state.buffer.items))
                 return
             busy_start = env.now
             yield from fs.write(
@@ -240,7 +241,12 @@ class ZipperTransport(Transport):
                 cstate.output_done.set()
                 return
             start = env.now
-            yield from fs.write(node, desc.nbytes, filename=f"preserve_a{arank}")
+            yield from fs.write(
+                node,
+                desc.nbytes,
+                filename=f"preserve_a{arank}",
+                rate_scale=ctx.bandwidth_share,
+            )
             ctx.analysis_rank_stats[arank]["output_busy_time"] += env.now - start
             ctx.stats["blocks_preserved"] += 1
             ctx.stats["bytes_preserved"] += desc.nbytes

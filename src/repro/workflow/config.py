@@ -118,6 +118,7 @@ class WorkflowConfig:
 
     @property
     def num_steps(self) -> int:
+        """Steps actually run (the explicit override or the workload's count)."""
         return self.steps if self.steps is not None else self.workload.steps
 
     @property
@@ -126,6 +127,7 @@ class WorkflowConfig:
         return min(self.block_bytes, self.workload.output_bytes_per_step)
 
     def replace(self, **changes) -> "WorkflowConfig":
+        """A copy of the config with ``changes`` applied."""
         return replace(self, **changes)
 
     def to_pipeline(self):

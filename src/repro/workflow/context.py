@@ -80,10 +80,12 @@ class PipelinePlacement:
         self.total_ranks = sum(self.stage_total_ranks.values())
 
     def stage_node(self, stage: str, rank: int) -> int:
+        """Modelled node hosting rank ``rank`` of stage ``stage``."""
         rpn = self.pipeline.ranks_per_modelled_node
         return self.stage_node_base[stage] + rank // rpn
 
     def staging_node(self, coupling: str, srank: int) -> int:
+        """Modelled node hosting staging rank ``srank`` of coupling ``coupling``."""
         staging = self.coupling_staging_ranks[coupling]
         if not staging:
             raise ValueError(f"coupling {coupling!r} has no staging ranks")
@@ -179,18 +181,23 @@ class PipelineContext:
 
     # -- lookups -------------------------------------------------------------
     def coupling(self, name: str) -> "CouplingContext":
+        """The coupling context named ``name`` (``"src->dst"``)."""
         return self._couplings_by_name[name]
 
     def inbound(self, stage: str) -> List["CouplingContext"]:
+        """Coupling contexts delivering data into ``stage`` (spec order)."""
         return [c for c in self.couplings if c.spec.target == stage]
 
     def outbound(self, stage: str) -> List["CouplingContext"]:
+        """Coupling contexts carrying ``stage``'s output (spec order)."""
         return [c for c in self.couplings if c.spec.source == stage]
 
     def stage_ranks(self, stage: str) -> int:
+        """Modelled rank count of ``stage``."""
         return self.placement.stage_ranks[stage]
 
     def stage_node(self, stage: str, rank: int) -> int:
+        """Modelled node hosting ``stage``'s rank ``rank``."""
         return self.placement.stage_node(stage, rank)
 
     # -- tracing -------------------------------------------------------------
@@ -299,6 +306,7 @@ class CouplingContext:
     # -- placement ---------------------------------------------------------
     @property
     def total_nodes_modelled(self) -> int:
+        """All modelled nodes of the run (stage nodes plus staging nodes)."""
         return self.pipeline_ctx.placement.num_nodes
 
     def sim_node(self, rank: int) -> int:
@@ -336,8 +344,11 @@ class CouplingContext:
         return self.pipeline_ctx.stage_output_bytes[self.spec.source]
 
     def represented_step_output_bytes(self) -> int:
-        """Bytes one *full-job* source rank emits per step (for scale-sensitive
-        fault models, where modelled and represented ratios can differ)."""
+        """Bytes one *full-job* source rank emits per step.
+
+        For scale-sensitive fault models, where modelled and represented
+        ratios can differ.
+        """
         return self.pipeline_ctx.pipeline.represented_stage_output_bytes_per_step(
             self.spec.source
         )
@@ -371,6 +382,7 @@ class CouplingContext:
         )
 
     def record_analysis(self, arank: int, category: str, start: float, **meta) -> None:
+        """Record a span ending now on a target-stage rank's trace row."""
         self.tracer.record(
             self.trace_rank_of_analysis(arank),
             category,

@@ -84,6 +84,10 @@ class StageSpec:
     #: rate factors set this so the controller moves (and conserves) the
     #: *granted* cores rather than rank units.
     granted_cores: Optional[float] = None
+    #: Whether a model-driven controller delivers grown capacity by spawning
+    #: modelled assist ranks at epoch boundaries (the runner's rank lifecycle
+    #: hooks) instead of purely re-rating the stage's nodes.
+    elastic_ranks: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -105,6 +109,7 @@ class StageSpec:
             raise ValueError(f"stage {self.name!r} needs granted_cores > 0 (or None)")
 
     def replace(self, **changes) -> "StageSpec":
+        """A copy of the stage spec with ``changes`` applied."""
         return replace(self, **changes)
 
 
@@ -151,6 +156,7 @@ class CouplingSpec:
         return f"{self.source}->{self.target}"
 
     def replace(self, **changes) -> "CouplingSpec":
+        """A copy of the coupling spec with ``changes`` applied."""
         return replace(self, **changes)
 
 
@@ -306,6 +312,7 @@ class PipelineSpec:
 
     # -- lookups -------------------------------------------------------------
     def stage(self, name: str) -> StageSpec:
+        """The stage spec named ``name`` (KeyError when absent)."""
         for stage in self.stages:
             if stage.name == name:
                 return stage
@@ -343,8 +350,11 @@ class PipelineSpec:
         return min(stage.representative_ranks, self.resolved_total_ranks(name))
 
     def _memo(self, attr: str) -> Dict[str, int]:
-        """A lazily created per-instance memo (the spec is frozen, so derived
-        graph walks are safe to cache for the instance's lifetime)."""
+        """A lazily created per-instance memo.
+
+        The spec is frozen, so derived graph walks are safe to cache for the
+        instance's lifetime.
+        """
         cache = self.__dict__.get(attr)
         if cache is None:
             cache = {}
@@ -438,6 +448,7 @@ class PipelineSpec:
         return ranks
 
     def coupling_buffer_blocks(self, coupling: CouplingSpec) -> int:
+        """Producer-buffer capacity of a coupling (with the pipeline default)."""
         blocks = (
             coupling.producer_buffer_blocks
             if coupling.producer_buffer_blocks is not None
@@ -446,6 +457,7 @@ class PipelineSpec:
         return blocks
 
     def coupling_high_water_mark(self, coupling: CouplingSpec) -> int:
+        """Work-stealing high-water mark of a coupling (validated against capacity)."""
         hwm = (
             coupling.high_water_mark
             if coupling.high_water_mark is not None
@@ -459,6 +471,7 @@ class PipelineSpec:
         return hwm
 
     def replace(self, **changes) -> "PipelineSpec":
+        """A copy of the pipeline spec with ``changes`` applied (re-validated)."""
         return replace(self, **changes)
 
 

@@ -40,6 +40,7 @@ class StageBreakdown:
         return max(stages, key=stages.get)
 
     def as_dict(self) -> Dict[str, float]:
+        """The five columns as a plain dict (the persisted breakdown form)."""
         return {
             "simulation": self.simulation,
             "transfer": self.transfer,
@@ -76,10 +77,14 @@ class WorkflowResult:
     #: Effective block size of each coupling (``block_bytes`` holds the common
     #: value, or 0 when couplings disagree).
     coupling_block_bytes: Dict[str, int] = field(default_factory=dict)
-    #: Rebalance timeline of an elastic run: every stage resize and
-    #: bandwidth lease the controller applied, in decision order (empty for
-    #: static runs and for elastic policies that never triggered).
+    #: Rebalance timeline of an elastic run: every stage resize, bandwidth
+    #: lease and rank spawn/retire the controller applied, in decision order
+    #: (empty for static runs and for elastic policies that never triggered).
     rebalances: List[RebalanceEvent] = field(default_factory=list)
+    #: Lifetime count of assist ranks spawned per rank-elastic stage (empty
+    #: unless a controller exercised the runner's rank lifecycle hooks); the
+    #: epoch-by-epoch counts live on the ``rebalances`` timeline.
+    stage_assist_ranks: Dict[str, int] = field(default_factory=dict)
     #: Sum of the XmitWait counter over all ports, scaled to the full job.
     xmit_wait: float = 0.0
     #: The full trace (``None`` when tracing was disabled).
@@ -111,6 +116,7 @@ class WorkflowResult:
 
     @property
     def steal_fraction(self) -> float:
+        """Fraction of produced blocks that travelled the work-stealing file path."""
         produced = self.stats.get("blocks_produced", 0.0)
         if produced <= 0:
             return 0.0
@@ -151,4 +157,6 @@ class WorkflowResult:
                 f"{event.kind:<15s} {event.donor} -> {event.receiver} "
                 f"({event.amount:.2f})"
             )
+        for name, spawned in self.stage_assist_ranks.items():
+            lines.append(f"  assists  {name:<14s} spawned={spawned}")
         return "\n".join(lines)

@@ -17,10 +17,18 @@ simulation to completion.  Stage processes come in two shapes:
 that lowers its :class:`~repro.workflow.config.WorkflowConfig` to a two-stage
 pipeline and delegates.
 
-When the pipeline carries an :class:`~repro.elastic.policy.ElasticPolicy`,
-the runner also spawns an :class:`~repro.elastic.controller.ElasticController`
-that rebalances stage core allocations and coupling bandwidth at policy
-epochs; its decision timeline lands on the result's ``rebalances`` field.
+When the pipeline carries an :class:`~repro.elastic.policy.ElasticPolicy`
+(or a :class:`~repro.elastic.model_driven.ModelDrivenPolicy`), the runner
+also spawns the policy's controller, which rebalances stage core
+allocations and coupling bandwidth at policy epochs; its decision timeline
+lands on the result's ``rebalances`` field.  For rank-elastic stages the
+runner additionally exposes the *rank lifecycle hooks*
+(:meth:`PipelineRunner.spawn_rank` / :meth:`PipelineRunner.retire_rank`):
+a spawned rank is a real simulation process placed on the least-loaded node
+of the stage's range that absorbs an offloaded slice of every primary
+rank's compute through the stage's assist pool, so grown capacity shows up
+as genuine added parallelism (with node placement, queueing and jitter)
+rather than a bare rate multiplier.
 """
 
 from __future__ import annotations
@@ -31,8 +39,8 @@ from typing import Dict, Generator, Iterable, List, Optional
 
 from repro.cluster.machine import Cluster
 from repro.cluster.spec import ClusterSpec
-from repro.elastic.controller import ElasticController
-from repro.simcore import AllOf, Container
+from repro.elastic.controller import ElasticControllerBase
+from repro.simcore import AllOf, Container, OneShotSignal, Store
 from repro.trace import Tracer
 from repro.transports.base import Transport, TransportFault
 from repro.transports.registry import create_transport
@@ -67,6 +75,39 @@ def pipeline_simulation_only_time(pipeline: PipelineSpec) -> float:
         )
         times.append(per_step * pipeline.stage_steps(stage.name) / core_speed)
     return max(times)
+
+
+class _RetireSentinel:
+    """Queue marker telling one assist rank to finish and leave its node."""
+
+
+_RETIRE = _RetireSentinel()
+
+
+class _AssistUnit:
+    """One offloaded slice of a primary rank's compute (seconds + done latch)."""
+
+    __slots__ = ("seconds", "done")
+
+    def __init__(self, seconds: float, done: OneShotSignal):
+        self.seconds = seconds
+        self.done = done
+
+
+class _AssistPool:
+    """Work queue and census of one stage's spawned assist ranks."""
+
+    __slots__ = ("queue", "active", "spawned_total", "busy_time")
+
+    def __init__(self, env):
+        self.queue = Store(env)
+        #: Assist ranks currently serving (decremented at retire time, so
+        #: offloads issued after a retire are sized for the smaller pool).
+        self.active = 0
+        #: Lifetime spawn count (for the result's rank-count census).
+        self.spawned_total = 0
+        #: Wall seconds the assists spent computing offloaded work.
+        self.busy_time = 0.0
 
 
 class PipelineRunner:
@@ -108,10 +149,16 @@ class PipelineRunner:
             for spec in pipeline.couplings
         }
         self._apply_underfill_correction()
+        # Seed the per-node hosting bookkeeping from the static placement so
+        # elastic rank spawns can pick the least-loaded node of a stage.
+        for node_id, count in self.placement.ranks_per_node().items():
+            self.cluster.node(node_id).hosted_ranks = count
+        #: Assist pools of rank-elastic stages, created on first spawn.
+        self._assist_pools: Dict[str, _AssistPool] = {}
         #: The elastic adaptation loop (None for static runs).  Exposed so
         #: tests and tools can inspect allocations and the decision timeline.
-        self.elastic_controller: Optional[ElasticController] = (
-            ElasticController(self.ctx, pipeline.elastic)
+        self.elastic_controller: Optional[ElasticControllerBase] = (
+            pipeline.elastic.build_controller(self.ctx, runner=self)
             if pipeline.elastic is not None
             else None
         )
@@ -168,6 +215,97 @@ class PipelineRunner:
             if count < rpn:
                 self.cluster.network.scale_node_bandwidth(node, count / rpn)
 
+    # -- elastic rank lifecycle --------------------------------------------------
+    def stage_assists(self, stage_name: str) -> int:
+        """Assist ranks currently spawned for a stage (0 when none ever were)."""
+        pool = self._assist_pools.get(stage_name)
+        return pool.active if pool is not None else 0
+
+    def spawn_rank(self, stage_name: str) -> int:
+        """Spawn one assist rank for a stage; returns the new assist count.
+
+        The rank is a real simulation process placed on the least-loaded
+        node of the stage's node range (ties break towards lower node ids,
+        keeping placement deterministic).  From the next compute call on,
+        every primary rank of the stage offloads the ``k / (n + k)`` slice
+        of its work to the pool of ``k`` assists, so the stage's delivered
+        capacity grows by ``(n + k) / n`` through genuine added parallelism.
+        """
+        self.pipeline.stage(stage_name)  # raises KeyError for unknown stages
+        pool = self._assist_pools.get(stage_name)
+        if pool is None:
+            pool = _AssistPool(self.ctx.env)
+            self._assist_pools[stage_name] = pool
+        base = self.placement.stage_node_base[stage_name]
+        nodes = [
+            self.cluster.node(base + offset)
+            for offset in range(self.placement.stage_nodes[stage_name])
+        ]
+        node = min(nodes, key=lambda n: (n.hosted_ranks, n.node_id))
+        node.host_rank()
+        self.ctx.env.process(self._assist_rank_process(stage_name, node, pool))
+        pool.active += 1
+        pool.spawned_total += 1
+        return pool.active
+
+    def retire_rank(self, stage_name: str) -> int:
+        """Retire one assist rank of a stage; returns the remaining count.
+
+        The census shrinks immediately (offloads issued after this call are
+        sized for the smaller pool); the retiring process drains queued work
+        ahead of the sentinel before leaving its node, so no offloaded unit
+        is ever lost.
+        """
+        pool = self._assist_pools.get(stage_name)
+        if pool is None or pool.active <= 0:
+            raise ValueError(f"stage {stage_name!r} has no assist ranks to retire")
+        pool.active -= 1
+        pool.queue.put(_RETIRE)
+        return pool.active
+
+    def set_assist_ranks(self, stage_name: str, count: int) -> int:
+        """Spawn/retire until the stage holds ``count`` assists; returns the count."""
+        if count < 0:
+            raise ValueError("assist count must be non-negative")
+        while self.stage_assists(stage_name) < count:
+            self.spawn_rank(stage_name)
+        while self.stage_assists(stage_name) > count:
+            self.retire_rank(stage_name)
+        return self.stage_assists(stage_name)
+
+    def _assist_rank_process(self, stage_name: str, node, pool: _AssistPool) -> Generator:
+        env = self.ctx.env
+        while True:
+            unit = yield pool.queue.get()
+            if unit is _RETIRE:
+                node.release_rank()
+                return
+            start = env.now
+            yield from node.compute(unit.seconds)
+            pool.busy_time += env.now - start
+            unit.done.set()
+
+    def _stage_compute(self, stage_name: str, node, reference_seconds: float) -> Generator:
+        """One primary rank's compute, offloading a slice to any assist ranks.
+
+        With no assists active this is exactly ``node.compute`` (no extra
+        events — static and threshold-elastic runs are untouched).  With
+        ``k`` assists behind ``n`` primaries, the primary computes the
+        ``n / (n + k)`` slice locally while one assist computes the rest
+        concurrently; the primary waits for both, so its recorded busy time
+        is the sped-up wall time.
+        """
+        pool = self._assist_pools.get(stage_name)
+        if pool is None or pool.active <= 0 or reference_seconds <= 0:
+            yield from node.compute(reference_seconds)
+            return
+        ranks = self.ctx.stage_ranks(stage_name)
+        offload = reference_seconds * pool.active / (ranks + pool.active)
+        unit = _AssistUnit(offload, OneShotSignal(self.ctx.env))
+        yield pool.queue.put(unit)
+        yield from node.compute(reference_seconds - offload)
+        yield unit.done.wait()
+
     # -- rank processes ----------------------------------------------------------
     def _source_rank_process(self, stage_name: str, rank: int) -> Generator:
         """One rank of a source stage: compute phases, halos, per-step puts."""
@@ -190,7 +328,7 @@ class PipelineRunner:
             compute_this_step = 0.0
             for phase, fraction in workload.phase_fractions.items():
                 phase_start = env.now
-                yield from node.compute(step_seconds * fraction)
+                yield from self._stage_compute(stage_name, node, step_seconds * fraction)
                 compute_this_step += env.now - phase_start
                 ctx.record_stage(stage_name, rank, phase, phase_start, step=step)
                 if (
@@ -203,6 +341,10 @@ class PipelineRunner:
                     if workload.halo_neighbors > 1:
                         yield from comm.sendrecv(rank, left, workload.halo_bytes, right)
             stats["compute_time"] += compute_this_step
+            # Per-stage progress counter for the elastic monitor/perf model:
+            # unlike coupling byte flow (which measures the *transfer*, not
+            # the stage), this advances only when the stage itself does.
+            stats["steps_done"] += 1.0
             put_start = env.now
             for cctx in outbound:
                 yield from self.transports[cctx.name].producer_put(
@@ -216,8 +358,11 @@ class PipelineRunner:
         stats["finish_time"] = env.now
 
     def _consumer_rank_process(self, stage_name: str, rank: int) -> Generator:
-        """One rank of a consuming stage: drive every inbound coupling's
-        consumer loop; forward fully-consumed steps into outbound couplings."""
+        """One rank of a consuming stage.
+
+        Drives every inbound coupling's consumer loop and forwards
+        fully-consumed steps into the outbound couplings.
+        """
         ctx = self.ctx
         env = ctx.env
         stage = self.pipeline.stage(stage_name)
@@ -250,12 +395,16 @@ class PipelineRunner:
         )
 
         def analyze(nbytes: int, step: int) -> Generator:
+            """Charge the analysis cost for one delivery; forward complete steps."""
             start = env.now
-            yield from node.compute(
-                workload.analysis_seconds_per_byte_at(step) * nbytes
+            yield from self._stage_compute(
+                stage_name, node, workload.analysis_seconds_per_byte_at(step) * nbytes
             )
             ctx.record_stage(stage_name, rank, "analysis", start, step=step, nbytes=nbytes)
             stats["analysis_time"] += env.now - start
+            # Consumption progress (bytes actually analysed), the consuming
+            # stages' equivalent of the sources' steps_done counter.
+            stats["bytes_done"] += nbytes
             if outbound:
                 step_progress[step] = step_progress.get(step, 0) + 1
                 if step_progress[step] == expected_per_step:
@@ -317,6 +466,7 @@ class PipelineRunner:
 
     # -- execution --------------------------------------------------------------
     def run(self) -> WorkflowResult:
+        """Execute the pipeline to completion and assemble the result."""
         ctx = self.ctx
         env = ctx.env
         pipeline = self.pipeline
@@ -360,6 +510,11 @@ class PipelineRunner:
                 else:
                     stats[key] += value
         stats = dict(stats)
+        for name, pool in self._assist_pools.items():
+            # Rank-elastic runs surface what the spawned assists contributed;
+            # static runs never create pools, so their stats are unchanged.
+            if pool.spawned_total > 0:
+                stats[f"{name}/assist_busy_time"] = pool.busy_time
         # The elastic controller's wake-ups are instrumentation, not modelled
         # workload; subtracting them keeps a never-triggering policy's event
         # count bit-identical to the equivalent static run.
@@ -406,6 +561,11 @@ class PipelineRunner:
                 if self.elastic_controller is not None
                 else []
             ),
+            stage_assist_ranks={
+                name: pool.spawned_total
+                for name, pool in self._assist_pools.items()
+                if pool.spawned_total > 0
+            },
         )
 
     def _common_block_bytes(self) -> int:
@@ -490,6 +650,7 @@ class WorkflowRunner:
         self.ctx: CouplingContext = self._runner.ctx.couplings[0]
 
     def run(self) -> WorkflowResult:
+        """Run the lowered pipeline and return the legacy-shaped result."""
         result = self._runner.run()
         # The legacy analytic lower bound is defined on the config (identical
         # for faithful lowerings, but keep the historical code path).

@@ -5,6 +5,8 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 sys.path.insert(0, str(REPO_ROOT / "tools"))
@@ -17,7 +19,13 @@ REQUIRED_DOCS = (
     "docs/pipelines.md",
     "docs/sweep-format.md",
     "docs/figures.md",
+    "docs/elastic.md",
+    "docs/perf-model.md",
 )
+
+#: Packages whose public API must be fully docstringed (mirrors the ruff
+#: ``D`` lint scope of the CI docs job).
+DOCSTRINGED_PACKAGES = ("elastic", "workflow", "sweep", "perfmodel")
 
 
 def test_required_docs_exist():
@@ -36,8 +44,9 @@ def test_all_relative_links_resolve():
     assert broken == [], f"broken documentation links: {broken}"
 
 
-def test_elastic_package_docstring_coverage():
-    """Every module, class and public function in repro.elastic is documented.
+@pytest.mark.parametrize("package", DOCSTRINGED_PACKAGES)
+def test_package_docstring_coverage(package):
+    """Every module, class and public function in the package is documented.
 
     A stdlib approximation of the ruff ``D1xx`` rules the CI docs job
     enforces, so docstring coverage is also checked where ruff is absent.
@@ -45,7 +54,7 @@ def test_elastic_package_docstring_coverage():
     import ast
 
     missing = []
-    for path in sorted((REPO_ROOT / "src" / "repro" / "elastic").glob("*.py")):
+    for path in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):
         tree = ast.parse(path.read_text(encoding="utf-8"))
         if not ast.get_docstring(tree):
             missing.append(f"{path.name}: module")
@@ -58,7 +67,7 @@ def test_elastic_package_docstring_coverage():
                 continue
             if not ast.get_docstring(node):
                 missing.append(f"{path.name}: {node.name}")
-    assert missing == [], f"undocumented definitions in repro.elastic: {missing}"
+    assert missing == [], f"undocumented definitions in repro.{package}: {missing}"
 
 
 def test_figures_doc_names_real_grids_and_benches():
@@ -74,6 +83,7 @@ def test_figures_doc_names_real_grids_and_benches():
         "figure18_spec",
         "pipeline_shapes_spec",
         "elastic_vs_static_spec",
+        "model_vs_threshold_spec",
     ):
         assert spec_name in figures, f"figures.md does not mention {spec_name}"
         assert hasattr(experiments, spec_name), f"{spec_name} vanished from experiments"

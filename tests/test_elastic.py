@@ -212,6 +212,9 @@ class TestBurstyWorkload:
             {"analysis_burst_period": -1},
             {"analysis_burst_length": 0},
             {"analysis_burst_period": 2, "analysis_burst_length": 3},
+            # length == period would make every step a burst step, leaving
+            # no observable steady baseline before the first burst.
+            {"analysis_burst_period": 2, "analysis_burst_length": 2},
         ],
     )
     def test_validation(self, kwargs):
@@ -421,6 +424,22 @@ class TestBandwidthLeases:
             runner = PipelineRunner(
                 two_stage_pipeline(steps=3, couplings=(
                     CouplingSpec("simulation", "analysis", transport="mpiio"),
+                ))
+            )
+            runner.ctx.couplings[0].set_bandwidth_share(share)
+            return runner.run().end_to_end_time
+
+        assert run_with_share(0.5) > run_with_share(1.0)
+
+    @pytest.mark.parametrize("transport", ["dataspaces", "dimes", "decaf", "flexpath"])
+    def test_staging_transports_honour_bandwidth_lease(self, transport):
+        """Staging/link/event traffic is leased too: a halved share slows the
+        bulk transfers of every network transport (ROADMAP follow-up)."""
+
+        def run_with_share(share):
+            runner = PipelineRunner(
+                two_stage_pipeline(steps=3, couplings=(
+                    CouplingSpec("simulation", "analysis", transport=transport),
                 ))
             )
             runner.ctx.couplings[0].set_bandwidth_share(share)
