@@ -1,0 +1,78 @@
+"""Engine-throughput benchmark: the ``repro.bench.harness`` suites.
+
+Unlike the figure benches (which regenerate paper results), this driver
+measures the simulator itself through the continuous-benchmark harness and
+prints the measurement next to the committed ``BENCH_<suite>.json`` baseline —
+the same comparison ``python -m repro.bench`` performs, wired into the
+pytest-benchmark flow so the whole ``benchmarks/`` suite leaves an engine
+data point behind.
+
+The committed baselines were measured on a specific machine, so this driver
+only *reports* the delta; the hard regression gate (``--check``) runs in CI
+against a baseline refreshed with ``python -m repro.bench --update``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.bench.harness import bench_path, compare, load_result, run_suite
+
+
+def test_engine_throughput_smoke(benchmark, report):
+    result = benchmark.pedantic(run_suite, args=("smoke",), rounds=1, iterations=1)
+    assert result.failed_scenarios == 0
+    assert result.events_processed > 0
+
+    previous = load_result(bench_path("smoke"))
+    delta = compare(result, previous)
+    rows = [
+        ["this run", f"{result.events_per_sec:,.0f}", result.events_processed],
+    ]
+    if previous is not None:
+        rows.append(
+            ["committed baseline", f"{previous.events_per_sec:,.0f}", previous.events_processed]
+        )
+        rows.append(["speedup vs baseline", f"{delta['speedup']:.2f}x", ""])
+        # The modelled-event count is machine-independent: a mismatch means
+        # the *model* changed without refreshing BENCH_smoke.json.
+        assert result.events_processed == previous.events_processed
+    report(
+        format_table(
+            ["measurement", "events/sec", "events_processed"],
+            rows,
+            title="Engine throughput (bench harness, smoke suite)",
+        )
+    )
+
+
+def test_engine_throughput_pipeline_headline(benchmark, report):
+    result = benchmark.pedantic(
+        run_suite, args=("pipeline",), kwargs={"repeats": 1}, rounds=1, iterations=1
+    )
+    assert result.failed_scenarios == 0
+
+    previous = load_result(bench_path("pipeline"))
+    rows = [["this run (1 repeat)", f"{result.events_per_sec:,.0f}", result.events_processed]]
+    if previous is not None:
+        rows.append(
+            [
+                "committed baseline (3 repeats)",
+                f"{previous.events_per_sec:,.0f}",
+                previous.events_processed,
+            ]
+        )
+        if previous.previous_events_per_sec > 0:
+            rows.append(
+                [
+                    "baseline's own predecessor",
+                    f"{previous.previous_events_per_sec:,.0f}",
+                    "",
+                ]
+            )
+    report(
+        format_table(
+            ["measurement", "events/sec", "events_processed"],
+            rows,
+            title="Engine throughput (bench harness, headline pipeline suite)",
+        )
+    )

@@ -13,6 +13,7 @@ parameters faithful to the paper.
 """
 
 from repro.bench.report import format_table, format_series, breakdown_row
+from repro.bench.harness import BenchResult, run_suite, suite_cases
 from repro.bench.experiments import (
     FIGURE2_TRANSPORTS,
     figure2_spec,
@@ -38,6 +39,9 @@ __all__ = [
     "format_table",
     "format_series",
     "breakdown_row",
+    "BenchResult",
+    "run_suite",
+    "suite_cases",
     "FIGURE2_TRANSPORTS",
     "figure2_spec",
     "figure12_spec",

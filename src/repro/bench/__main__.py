@@ -1,0 +1,145 @@
+"""Command-line bench harness driver: ``python -m repro.bench``.
+
+Runs the named bench suites (default: the headline ``pipeline`` suite),
+prints each measurement next to the committed ``BENCH_<suite>.json``
+baseline, and optionally rewrites the baseline or fails on regression::
+
+    PYTHONPATH=src python -m repro.bench                       # measure + compare
+    PYTHONPATH=src python -m repro.bench --suite smoke --check # CI regression gate
+    PYTHONPATH=src python -m repro.bench --update              # refresh baselines
+
+See ``docs/performance.md`` for the JSON schema and how to read the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.bench.harness import (
+    SUITES,
+    bench_path,
+    compare,
+    load_result,
+    run_suite,
+    write_result,
+)
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the engine bench suites and compare against BENCH_*.json.",
+    )
+    parser.add_argument(
+        "--suite",
+        action="append",
+        choices=sorted(SUITES),
+        help="suite(s) to run (repeatable; default: pipeline)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, help="sweep workers (0 = serial, the default)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="override the suite's repeat count"
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        help="directory holding BENCH_<suite>.json (default: the repository root)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BENCH_<suite>.json with this measurement",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero if events/sec regressed more than --max-regression "
+            "(wall-clock based — compare against a baseline from comparable "
+            "hardware, e.g. the previous CI run's artifact)"
+        ),
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=20.0,
+        help="allowed events/sec regression in percent for --check (default 20)",
+    )
+    parser.add_argument(
+        "--check-events",
+        action="store_true",
+        help=(
+            "exit non-zero if events_processed differs from the baseline — "
+            "machine-independent: a mismatch means the modelled workload "
+            "changed without refreshing BENCH_<suite>.json"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.bench``; returns the exit code."""
+    args = _parser().parse_args(argv)
+    suites = args.suite or ["pipeline"]
+
+    failures: List[str] = []
+    for suite in suites:
+        path = bench_path(suite, args.bench_dir)
+        previous = load_result(path)
+        result = run_suite(suite, workers=args.workers, repeats=args.repeats)
+        delta = compare(result, previous)
+
+        print(f"suite {suite}: {result.scenarios} scenarios in {result.wall_seconds:.2f}s")
+        print(
+            f"  events_processed={result.events_processed}  "
+            f"events/sec={result.events_per_sec:,.0f}  "
+            f"sim_seconds={result.sim_seconds:.2f}"
+        )
+        if previous is not None:
+            print(
+                f"  baseline ({path.name}): events/sec={previous.events_per_sec:,.0f} "
+                f"-> speedup {delta['speedup']:.2f}x"
+                + (
+                    f"  (REGRESSION {delta['regression_pct']:.1f}%)"
+                    if delta["regression_pct"] > 0
+                    else ""
+                )
+            )
+        else:
+            print(f"  no baseline at {path} (run with --update to create one)")
+
+        if result.failed_scenarios:
+            failures.append(f"{suite}: {result.failed_scenarios} scenario(s) failed")
+        if args.check and previous is not None and delta["regression_pct"] > args.max_regression:
+            failures.append(
+                f"{suite}: events/sec regressed {delta['regression_pct']:.1f}% "
+                f"(allowed {args.max_regression:.1f}%) vs {path.name}"
+            )
+        if (
+            args.check_events
+            and previous is not None
+            and result.events_processed != previous.events_processed
+        ):
+            failures.append(
+                f"{suite}: events_processed changed "
+                f"{previous.events_processed} -> {result.events_processed}; "
+                f"the modelled workload changed — refresh {path.name} with --update"
+            )
+        if args.update:
+            write_result(result, path, previous=previous)
+            print(f"  wrote {path}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

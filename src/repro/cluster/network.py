@@ -30,7 +30,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
-from repro.simcore import Environment, RandomStreams, TallyMonitor, Timeout
+from repro.simcore import Environment, RandomStreams, TallyMonitor
 from repro.cluster.counters import CounterRegistry
 from repro.cluster.spec import NetworkSpec
 
@@ -40,7 +40,7 @@ __all__ = ["Network", "TransferResult", "PortState"]
 DEFAULT_INTRA_NODE_BANDWIDTH = 20e9
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferResult:
     """Outcome of a single message transfer."""
 
@@ -68,7 +68,7 @@ class TransferResult:
 class PortState:
     """Mutable per-port bookkeeping: FIFO availability and weighted load."""
 
-    __slots__ = ("name", "bandwidth", "busy_until", "load", "counters_id")
+    __slots__ = ("name", "bandwidth", "busy_until", "load", "counters_id", "counter")
 
     def __init__(self, name: str, bandwidth: float, counters_id: Optional[str] = None):
         self.name = name
@@ -76,22 +76,9 @@ class PortState:
         self.busy_until = 0.0
         self.load = 0.0  # weighted number of flows currently using the port
         self.counters_id = counters_id
-
-    def effective_rate(
-        self, spec: NetworkSpec, extra_weight: float, congestion_scale: float = 1.0
-    ) -> float:
-        """Rate seen by a new flow given the port's current weighted load.
-
-        ``congestion_scale`` amplifies the penalty for large jobs: the same
-        instantaneous contention produces more credit stalls and adaptive-
-        routing collisions when the job spans more leaf switches, which is the
-        scale-dependent congestion the paper measures through ``XmitWait``.
-        """
-        concurrency = self.load + extra_weight
-        penalty = 1.0 + spec.congestion_alpha * congestion_scale * max(0.0, concurrency - 1.0)
-        penalty = min(penalty, spec.max_congestion_penalty)
-        return self.bandwidth / penalty
-
+        #: The port's counter record, bound once by the owning Network (the
+        #: registry lookup sits on the per-transfer hot path).
+        self.counter = None
 
 class Network:
     """The fabric connecting the modelled compute nodes.
@@ -143,6 +130,7 @@ class Network:
         # The scale-dependent factors depend only on spec and total_nodes, both
         # fixed after construction, so they are computed once: congestion_scale
         # sits on the per-transfer hot path.
+        self._flits_per_second = spec.link_bandwidth / float(spec.flit_bytes)
         leaves = self.total_nodes / spec.ports_per_leaf
         self._congestion_scale = 1.0 + 0.45 * max(0.0, math.log2(max(1.0, leaves)))
         self._fabric_efficiency = 1.0 / (
@@ -167,6 +155,11 @@ class Network:
                 f"node{node}.rx", spec.link_bandwidth, counters_id=f"node{node}"
             )
             self._core[node] = PortState(f"node{node}.core", core_share)
+            self._inject[node].counter = self.counters.port(f"node{node}")
+            self._eject[node].counter = self.counters.port(f"node{node}")
+        #: Leaf switch of each modelled node (static — see node_leaf), cached
+        #: off the per-transfer hot path.
+        self._leaf = [self.node_leaf(node) for node in range(num_nodes)]
 
         self.transfer_stats = TallyMonitor("transfer_time")
         self.bytes_moved = 0
@@ -230,81 +223,116 @@ class Network:
             raise ValueError("rate_scale must be positive")
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        self._check_node(src)
-        self._check_node(dst)
+        num_nodes = self.num_nodes
+        if not (0 <= src < num_nodes and 0 <= dst < num_nodes):
+            self._check_node(src)
+            self._check_node(dst)
         env = self.env
+        spec = self.spec
         start = env.now
         self.messages_sent += 1
         self.bytes_moved += int(nbytes)
 
         if nbytes == 0:
             # Pure synchronisation message: latency only.
-            yield Timeout(env, self.spec.latency + self.spec.per_message_overhead)
+            yield env.sleep(spec.latency + spec.per_message_overhead)
             result = TransferResult(src, dst, 0, start, env.now, 0.0, 0.0, flow)
             self.transfer_stats.observe(result.duration)
             return result
 
         if src == dst:
-            duration = self.spec.per_message_overhead + nbytes / self.intra_node_bandwidth
-            duration = self._jittered(duration, "intra")
-            yield Timeout(env, duration)
+            duration = spec.per_message_overhead + nbytes / self.intra_node_bandwidth
+            if self.jitter_cv > 0:
+                duration = self.rng.jitter("network.intra", duration, self.jitter_cv)
+            yield env.sleep(duration)
             result = TransferResult(src, dst, nbytes, start, env.now, 0.0, 0.0, flow)
             self.transfer_stats.observe(result.duration)
             return result
 
-        spec = self.spec
         tx = self._inject[src]
         rx = self._eject[dst]
-        same_leaf = self.node_leaf(src) == self.node_leaf(dst)
-        stages = [tx] if same_leaf else [tx, self._core[src]]
-        stages.append(rx)
+        leaf = self._leaf
+        if leaf[src] == leaf[dst]:
+            stages = (tx, rx)
+        else:
+            stages = (tx, self._core[src], rx)
 
         # Effective rates are frozen at issue time from the current loads;
         # the loads are then raised for the duration of the transfer so that
-        # later flows see this one.
+        # later flows see this one.  Per stage, a new flow sees
+        # bandwidth / penalty where penalty = 1 + alpha·scale·(concurrency−1)
+        # capped at max_congestion_penalty: the same instantaneous contention
+        # produces more credit stalls when the job spans more leaf switches,
+        # which is the scale-dependent congestion the paper measures through
+        # XmitWait.
         cscale = self._congestion_scale
-        rates = [s.effective_rate(spec, congestion_weight, cscale) for s in stages]
-        bottleneck = min(rates)
+        alpha = spec.congestion_alpha * cscale
+        max_penalty = spec.max_congestion_penalty
+        bottleneck = float("inf")
+        tx_rate = 0.0
+        for stage in stages:
+            concurrency = stage.load + congestion_weight
+            penalty = 1.0 + alpha * (concurrency - 1.0) if concurrency > 1.0 else 1.0
+            if penalty > max_penalty:
+                penalty = max_penalty
+            rate = stage.bandwidth / penalty
+            if stage is tx:
+                tx_rate = rate
+            if rate < bottleneck:
+                bottleneck = rate
         if rate_scale != 1.0:
             bottleneck *= rate_scale
 
-        now = env.now
-        t_tx_start = max(now, tx.busy_until)
+        now = start
+        latency = spec.latency
+        tx_busy = tx.busy_until
+        t_tx_start = tx_busy if tx_busy > now else now
         queued = t_tx_start - now
-        t_rx_start = max(t_tx_start + spec.latency, rx.busy_until)
-        drain_time = nbytes / bottleneck
+        t_arrive = t_tx_start + latency
+        rx_busy = rx.busy_until
+        t_rx_start = rx_busy if rx_busy > t_arrive else t_arrive
         # Jitter is applied to the *service* portion only, before the finish
         # time is frozen: the queueing delay is set by when the ports free, so
         # jittering it too could move finish before the predecessor's finish
         # and break the FIFO invariant.  With the jittered service folded in
         # here, busy_until, the yielded duration and the TransferResult all
         # agree on the same completion time.
-        service = self._jittered(spec.per_message_overhead + drain_time, "fabric")
+        service = spec.per_message_overhead + nbytes / bottleneck
+        if self.jitter_cv > 0:
+            service = self.rng.jitter("network.fabric", service, self.jitter_cv)
         finish = t_rx_start + service
         duration = finish - now
         # Backpressure: the source cannot consider the message "sent" before
         # the slowest stage has drained it.
-        ideal_tx_done = t_tx_start + nbytes / rates[0]
-        stalled = max(0.0, finish - ideal_tx_done - spec.latency)
+        stalled = finish - (t_tx_start + nbytes / tx_rate) - latency
+        if stalled < 0.0:
+            stalled = 0.0
 
         for stage in stages:
             stage.busy_until = finish
             stage.load += congestion_weight
 
-        # Counters for the source and destination NIC ports.
-        tx_port = self.counters.port(tx.counters_id or tx.name)
-        rx_port = self.counters.port(rx.counters_id or rx.name)
-        tx_port.record_send(nbytes)
-        rx_port.record_receive(nbytes)
-        tx_port.record_wait(queued + stalled, spec.link_bandwidth, spec.flit_bytes)
+        # Counters for the source and destination NIC ports (inlined
+        # PortCounters.record_send/record_receive/record_wait — one message
+        # each, values already validated above).
+        tx_counter = tx.counter
+        rx_counter = rx.counter
+        tx_counter.xmit_data += int(nbytes)
+        tx_counter.xmit_pkts += 1
+        rx_counter.rcv_data += int(nbytes)
+        rx_counter.rcv_pkts += 1
+        wait = queued + stalled
+        if wait > 0:
+            tx_counter.xmit_wait += int(round(wait * self._flits_per_second))
 
         try:
-            yield Timeout(env, duration)
+            yield env.sleep(duration)
         finally:
             # Runs even when the transfer's process is interrupted or killed,
             # otherwise the port keeps phantom congestion load forever.
             for stage in stages:
-                stage.load = max(0.0, stage.load - congestion_weight)
+                load = stage.load - congestion_weight
+                stage.load = load if load > 0.0 else 0.0
 
         result = TransferResult(
             src, dst, nbytes, start, env.now, queued, stalled, flow
@@ -352,8 +380,3 @@ class Network:
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
-
-    def _jittered(self, duration: float, stream: str) -> float:
-        if self.jitter_cv <= 0:
-            return duration
-        return self.rng.jitter(f"network.{stream}", duration, self.jitter_cv)

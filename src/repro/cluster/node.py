@@ -2,12 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, List, Optional, Sequence, Union
 
 from repro.simcore import Container, Environment, RandomStreams, Resource, Timeout
 from repro.cluster.spec import NodeSpec
 
 __all__ = ["ComputeNode"]
+
+
+class _FastHolder:
+    """Phantom core-slot holder used by the compute fast path.
+
+    Occupies an entry in the core resource's user list (so occupancy stays
+    visible to slow-path contenders) without any event machinery.  One
+    instance per slot is never needed — list entries may alias because
+    removal is positional over identical objects.
+    """
+
+    __slots__ = ()
+
+
+_FAST_HOLDER = _FastHolder()
 
 
 class ComputeNode:
@@ -52,6 +67,11 @@ class ComputeNode:
         #: rank spawns/retires place assist ranks, so spawn-time placement
         #: can pick the least-loaded node of a stage's range.
         self.hosted_ranks = 0
+        # Uncontended-compute fast path: claimed concurrency bound and the
+        # derived flag (see claim_compute_slots).  Off until an owner that
+        # knows the node's whole workload declares the bound.
+        self._claimed_slots = 0
+        self._fast_path = False
 
     @property
     def allocation_scale(self) -> float:
@@ -73,6 +93,46 @@ class ComputeNode:
             raise ValueError("allocation scale must be positive")
         self._allocation_scale = float(scale)
         self._rate = self.spec.core_speed * self._allocation_scale
+
+    def claim_compute_slots(self, count: int = 1) -> None:
+        """Declare up to ``count`` additional concurrent :meth:`compute` callers.
+
+        The uncontended fast path: when the *total* claimed concurrency fits
+        in the node's core count, no compute call can ever queue, so the
+        per-call core request/release bookkeeping has no observable effect —
+        :meth:`compute` then skips it (crediting the elided events), and
+        :meth:`compute_batch` may fast-forward whole segments.  Owners that
+        know the node's complete workload (the pipeline runner claims one
+        slot per potential concurrent compute of every hosted rank) must
+        route every claim through here; a node with no claims stays on the
+        exact slow path.
+        """
+        if count < 0:
+            raise ValueError("claimed slot count must be non-negative")
+        self._claimed_slots += count
+        self._fast_path = 0 < self._claimed_slots <= self.spec.cores
+
+    def release_compute_slots(self, count: int = 1) -> None:
+        """Withdraw previously claimed concurrency (e.g. a retired assist rank)."""
+        if count < 0:
+            raise ValueError("released slot count must be non-negative")
+        self._claimed_slots = max(0, self._claimed_slots - count)
+        self._fast_path = 0 < self._claimed_slots <= self.spec.cores
+
+    @property
+    def uncontended(self) -> bool:
+        """Whether the claimed concurrency guarantees compute never queues."""
+        return self._fast_path
+
+    @property
+    def can_batch(self) -> bool:
+        """Whether :meth:`compute_batch` may fast-forward on this node.
+
+        Requires the uncontended guarantee and jitter-free compute (each
+        jittered call draws from the node's random stream *in event order*,
+        which a single batched event could not reproduce).
+        """
+        return self._fast_path and self.jitter_cv == 0.0
 
     def host_rank(self) -> int:
         """Account one more modelled rank living on this node.
@@ -99,15 +159,135 @@ class ComputeNode:
             duration = self.rng.jitter(
                 f"node{self.node_id}.compute", duration, self.jitter_cv
             )
-        req = self.cores.request()
+        cores = self.cores
+        if self._fast_path and not cores._waiters and len(cores.users) < cores._capacity:
+            # Guaranteed-uncontended: the grant would be immediate and both
+            # queue trips are elided and credited — the clock advances by the
+            # identical duration and events_processed stays bit-identical.
+            # The call still *holds a slot* (a phantom entry in the user
+            # list), so if an elastic assist spawn pushes the node's claims
+            # past its cores mid-flight, later slow-path computes observe
+            # the true occupancy and queue exactly as the slow path would.
+            holder = _FAST_HOLDER
+            cores.users.append(holder)
+            try:
+                if duration > 0:
+                    yield self.env.sleep(duration)
+                self.busy_core_seconds += duration
+            finally:
+                cores.users.remove(holder)
+                # The synchronous half of Resource.release: grant any waiter
+                # that queued behind this phantom slot, at exactly the
+                # instant the slow path's Release would have granted it.
+                while cores._waiters and len(cores.users) < cores._capacity:
+                    cores._grant(cores._pop_waiter())
+            self.env.credit_events(2)
+            return duration
+        req = cores.request()
         yield req
         try:
             if duration > 0:
                 yield Timeout(self.env, duration)
             self.busy_core_seconds += duration
         finally:
-            self.cores.release(req)
+            cores.release(req)
         return duration
+
+    def compute_batch(
+        self,
+        seconds: Union[float, Sequence[float]],
+        steps: int = 1,
+        deadline: float = float("inf"),
+    ) -> Generator:
+        """Fast-forward ``steps`` repetitions of a compute segment in one event.
+
+        ``seconds`` is the reference-core work of one segment — a float for a
+        uniform segment or a sequence of per-call chunks (e.g. one entry per
+        workload phase).  The batch is exactly equivalent to calling
+        :meth:`compute` for every chunk of every repetition, but when the
+        node :attr:`can_batch` it advances the clock with a single absolute
+        timeout and credits the elided events; the end time, the busy-seconds
+        accumulator and the returned per-repetition elapsed times are folded
+        with the same float operations the per-call path performs, so results
+        are bit-identical.
+
+        ``deadline`` invalidates the fast-forward: if the folded end time
+        would pass it (an elastic epoch boundary, after which
+        :meth:`set_allocation_scale` may change the rate or an assist rank
+        may spawn mid-segment), the batch *declines* — it returns ``None``
+        without consuming any event or simulated time, and the caller runs
+        its exact per-call sequence, which observes control decisions chunk
+        by chunk.  The batch likewise declines when the node cannot
+        fast-forward at all (:attr:`can_batch` false, or a transient core
+        holder).
+
+        Returns the list of per-repetition elapsed simulated seconds (one
+        entry per ``steps``), matching what a caller timing each repetition
+        with ``env.now`` differences would have measured — or ``None`` when
+        the batch declined.
+        """
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        chunks = (
+            (float(seconds),)
+            if isinstance(seconds, (int, float))
+            else tuple(float(chunk) for chunk in seconds)
+        )
+        if not chunks:
+            raise ValueError("compute_batch needs at least one chunk")
+        for chunk in chunks:
+            if chunk < 0:
+                raise ValueError("reference_seconds must be non-negative")
+        env = self.env
+        cores = self.cores
+        if not (
+            self._fast_path
+            and self.jitter_cv == 0.0
+            and not cores._waiters
+            and len(cores.users) < cores._capacity
+        ):
+            return None
+        rate = self._rate
+        end = env.now
+        busy = self.busy_core_seconds
+        credit = 0
+        any_timeout = False
+        elapsed: List[float] = []
+        for _ in range(steps):
+            rep = 0.0
+            for chunk in chunks:
+                duration = chunk / rate
+                prev = end
+                end = prev + duration
+                rep += end - prev
+                busy += duration
+                if duration > 0:
+                    credit += 3
+                    any_timeout = True
+                else:
+                    credit += 2
+            elapsed.append(rep)
+        if end > deadline:
+            return None
+        if any_timeout:
+            # One absolute-time event stands in for the whole segment.  The
+            # phantom slot keeps the node's occupancy visible for the whole
+            # fast-forward, exactly like the per-call fast path.
+            holder = _FAST_HOLDER
+            cores.users.append(holder)
+            try:
+                yield env.sleep_until(end)
+            finally:
+                cores.users.remove(holder)
+                while cores._waiters and len(cores.users) < cores._capacity:
+                    cores._grant(cores._pop_waiter())
+            credit -= 1
+        # An all-zero segment consumes no event in the per-call path
+        # (compute() returns without yielding), so none is consumed here
+        # either — the process continues synchronously.
+        self.busy_core_seconds = busy
+        env.credit_events(credit)
+        return elapsed
 
     def allocate_memory(self, nbytes: float):
         """Reserve ``nbytes`` of node memory (blocks while unavailable)."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
-from repro.simcore import Environment, RandomStreams, TallyMonitor, Timeout
+from repro.simcore import Environment, RandomStreams, TallyMonitor
 from repro.cluster.network import Network
 from repro.cluster.spec import FileSystemSpec
 
@@ -129,7 +129,7 @@ class ParallelFileSystem:
         # modelled as a fixed latency plus variability.
         md = self.rng.jitter("pfs.metadata", self.spec.metadata_latency, self.spec.service_cv)
         if md > 0:
-            yield Timeout(env, md)
+            yield env.sleep(md)
 
         if nbytes > 0:
             stripes = max(1, -(-nbytes // self.spec.stripe_size))
@@ -156,7 +156,7 @@ class ParallelFileSystem:
                 self.network.add_background_load(node, self.spec.fabric_weight)
                 fabric_loaded = True
             try:
-                yield Timeout(env, duration)
+                yield env.sleep(duration)
             finally:
                 self._active = max(0.0, self._active - 1.0)
                 if fabric_loaded:

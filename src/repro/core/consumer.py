@@ -32,7 +32,6 @@ from repro.core.stats import RuntimeStats
 
 __all__ = ["ConsumerRuntime"]
 
-_POLL_INTERVAL = 0.01
 _SENTINEL = object()
 
 
@@ -157,9 +156,11 @@ class ConsumerRuntime:
         expected_eofs = self.config.num_producers
         try:
             while True:
-                message = self.network.recv(timeout=_POLL_INTERVAL)
-                if message is None:
-                    continue
+                # Blocks until a message arrives: every producer ends its
+                # stream with an end-of-stream message (the abort path
+                # included — the sender's final flush always runs), so the
+                # loop needs no wake-and-recheck polling.
+                message = self.network.recv()
                 for block_id in message.disk_ids:
                     self._read_queue.put(block_id)
                 if message.block is not None:

@@ -28,9 +28,6 @@ from repro.core.stats import RuntimeStats
 
 __all__ = ["ProducerRuntime"]
 
-#: How long helper threads sleep in their poll loops when nothing is available.
-_POLL_INTERVAL = 0.01
-
 
 class ProducerRuntime:
     """Multi-threaded producer-side runtime for one simulation rank."""
@@ -158,16 +155,15 @@ class ProducerRuntime:
 
     def _sender_loop(self) -> None:
         while True:
-            block = self.buffer.take(timeout=_POLL_INTERVAL)
+            # Blocks on the buffer's not-empty condition; a None return means
+            # the buffer is closed *and* fully drained, so nothing further
+            # can arrive (the writer only ever removes blocks).
+            block = self.buffer.take()
             if block is None:
-                drained = (
-                    self.buffer.closed
-                    and len(self.buffer) == 0
-                    and self._writer_done.is_set()
-                )
-                if drained:
-                    break
-                continue
+                # Wait for the writer's in-flight block (if any) so its disk
+                # id travels on the end-of-stream message below.
+                self._writer_done.wait()
+                break
             disk_ids = self._drain_disk_ids()
             message = MixedMessage(
                 block=block, disk_ids=disk_ids, producer_rank=self.rank
@@ -189,11 +185,12 @@ class ProducerRuntime:
 
     def _writer_loop(self) -> None:
         while True:
-            block = self.buffer.steal(timeout=_POLL_INTERVAL)
+            # Blocks on the above-watermark condition; None only when the
+            # buffer has been closed (any backlog above the mark is still
+            # stolen before the loop observes the close).
+            block = self.buffer.steal()
             if block is None:
-                if self.buffer.closed:
-                    break
-                continue
+                break
             start = time.perf_counter()
             self.file_channel.write(block)
             elapsed = time.perf_counter() - start

@@ -119,6 +119,17 @@ class ElasticControllerBase:
         """Simulation events this controller's instrumentation consumed."""
         return self._clock.events_consumed if self._clock is not None else 0
 
+    @property
+    def next_epoch_time(self) -> float:
+        """Simulated time of the next epoch decision (``inf`` when idle).
+
+        Everything a controller may mutate mid-run — allocation scales,
+        bandwidth shares, assist-rank census — changes only at these
+        instants, so the runner's compute coalescing uses this as the
+        deadline beyond which a fast-forwarded segment may not reach.
+        """
+        return self._clock.next_wakeup if self._clock is not None else float("inf")
+
     # -- epoch loop ---------------------------------------------------------
     def _on_epoch(self, now: float) -> None:
         self.epoch += 1

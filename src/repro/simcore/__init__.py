@@ -45,6 +45,7 @@ from repro.simcore.errors import (
 from repro.simcore.events import (
     Event,
     Timeout,
+    PooledTimeout,
     Process,
     AllOf,
     AnyOf,
@@ -75,6 +76,7 @@ __all__ = [
     "StopProcess",
     "Event",
     "Timeout",
+    "PooledTimeout",
     "Process",
     "AllOf",
     "AnyOf",

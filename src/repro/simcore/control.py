@@ -63,11 +63,13 @@ class PeriodicController:
         self.name = name
         self.wakeups = 0
         self._process: Optional[Process] = None
+        self._next_wakeup = float("inf")
 
     def start(self) -> Process:
         """Spawn the controller process (idempotent per instance)."""
         if self._process is not None:
             raise RuntimeError(f"controller {self.name!r} already started")
+        self._next_wakeup = self.env.now + self.interval
         self._process = self.env.process(self._run())
         return self._process
 
@@ -87,12 +89,24 @@ class PeriodicController:
             return 0
         return 1 + self.wakeups
 
+    @property
+    def next_wakeup(self) -> float:
+        """Simulated time of the next scheduled wake-up (``inf`` when idle).
+
+        Fast paths that must not run past a control decision (compute
+        coalescing) treat this as their deadline: any state the callback may
+        mutate is only ever mutated at these instants.
+        """
+        return self._next_wakeup
+
     def _run(self):
         while True:
             yield Timeout(self.env, self.interval)
             self.wakeups += 1
             if self.callback(self.env.now) is False:
+                self._next_wakeup = float("inf")
                 return
+            self._next_wakeup = self.env.now + self.interval
 
     def __repr__(self) -> str:
         return (

@@ -7,12 +7,17 @@ from itertools import count
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.simcore.errors import SimulationError
-from repro.simcore.events import Event, NORMAL, Process, Timeout
+from repro.simcore.events import Event, NORMAL, PENDING, PooledTimeout, Process, Timeout
 
 __all__ = ["Environment", "EmptySchedule", "Infinity"]
 
 #: A time value larger than any event time the models use.
 Infinity = float("inf")
+
+#: Upper bound on the recycled-:class:`PooledTimeout` free list.  Generous
+#: enough for every rank of a large pipeline to have one sleep in flight;
+#: beyond it, extra events are simply left to the garbage collector.
+_TIMEOUT_POOL_LIMIT = 512
 
 
 class EmptySchedule(Exception):
@@ -35,7 +40,15 @@ class Environment:
     then by insertion order, which keeps the simulation fully deterministic.
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process", "_events_processed")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_active_process",
+        "_events_processed",
+        "_timeout_pool",
+        "_solo_callback",
+    )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -43,6 +56,16 @@ class Environment:
         self._eid = count()
         self._active_process: Optional[Process] = None
         self._events_processed = 0
+        self._timeout_pool: List[PooledTimeout] = []
+        # True while step() is executing the callback of an event that had
+        # exactly one.  In that window, a freshly created event that (a) is
+        # already triggered and (b) faces an empty same-time horizon (no
+        # queued event at the current instant) is guaranteed to be the very
+        # next pop with nothing running in between — so resources may
+        # complete it in place (see Store._put/_get, Resource._do_request)
+        # and let the creator continue synchronously, which is
+        # order-identical to the queue trip.
+        self._solo_callback = False
 
     # -- clock and bookkeeping -------------------------------------------
     @property
@@ -79,6 +102,107 @@ class Environment:
         """Start a new process from ``generator`` and return its event."""
         return Process(self, generator)
 
+    def sleep(self, delay: float) -> PooledTimeout:
+        """A recycled timeout firing ``delay`` from now (hot-path ``timeout``).
+
+        Allocation-free when the free list is warm.  The returned event obeys
+        the :class:`~repro.simcore.events.PooledTimeout` contract: yield it
+        immediately from exactly one process and never store or share it —
+        it returns to the free list the moment it is processed.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        event = self._pooled_timeout()
+        event._delay = delay
+        heappush(self._queue, (self._now + delay, NORMAL, next(self._eid), event))
+        return event
+
+    def sleep_until(self, when: float) -> PooledTimeout:
+        """A recycled timeout firing at the *absolute* time ``when``.
+
+        The coalescing hook: a batch fast-forward computes its exact end time
+        with the same float arithmetic the per-call path would use, then jumps
+        the clock straight to it — scheduling by absolute time avoids the
+        ``now + (end - now)`` round trip that would break bit-identity.
+        """
+        if when < self._now:
+            raise SimulationError(f"sleep_until({when!r}) lies before now ({self._now!r})")
+        event = self._pooled_timeout()
+        event._delay = when - self._now
+        heappush(self._queue, (when, NORMAL, next(self._eid), event))
+        return event
+
+    def _pooled_timeout(self) -> PooledTimeout:
+        """Pop a recycled timeout from the free list, or allocate a fresh one.
+
+        A recycled event only needs its callback list re-armed: pooled
+        timeouts are always ok/undefused and step() cleared the value when
+        it returned the event to the pool.
+        """
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            return event
+        event = PooledTimeout.__new__(PooledTimeout)
+        event.env = self
+        event.callbacks = []
+        event._value = None
+        event._ok = True
+        event._defused = False
+        return event
+
+    # -- fast-path accounting ---------------------------------------------
+    def credit_events(self, count: int) -> None:
+        """Account ``count`` events that a fast path elided.
+
+        The engine's fast paths (core grants on guaranteed-uncontended nodes,
+        compute coalescing) skip queue trips whose processing would have had
+        no observable effect except advancing :attr:`events_processed`.  Each
+        fast path credits exactly the events the equivalent slow path would
+        have consumed, so the counter stays a *model* property — bit-stable
+        for fixed seeds — rather than an engine implementation detail.
+        """
+        self._events_processed += count
+
+    def trigger_inplace(self, event: Event, value: Any = None) -> None:
+        """Trigger a freshly created event, completing it in place when safe.
+
+        The shared trigger of the resource layer's fast paths, keeping the
+        safety proof in one audited spot.  The event must be untriggered and
+        callback-free (just created, no reference escaped).  When the engine
+        is executing a solo callback (:attr:`_solo_callback`) and no other
+        event is queued at the current instant, the event's queue trip would
+        be the immediate next pop with nothing running in between — so it is
+        completed in place (the elided pop is counted) and its creator
+        continues synchronously, order-identical to the queued behaviour.
+        Otherwise the event is scheduled normally via ``succeed``.
+        """
+        queue = self._queue
+        if self._solo_callback and (not queue or queue[0][0] > self._now):
+            event._ok = True
+            event._value = value
+            event.callbacks = None
+            self._events_processed += 1
+        else:
+            event.succeed(value)
+
+    def complete(self, event: Event) -> None:
+        """Process a callback-free event in place, skipping the queue.
+
+        For bookkeeping events that nothing can ever wait on (the event is
+        triggered and completed within its creator, before any reference
+        escapes), a queue trip only burns a heap slot.  The event must carry
+        no callbacks and must already hold its outcome; it is marked
+        processed and counted exactly as if it had been popped normally.
+        """
+        if event.callbacks:
+            raise SimulationError("complete() requires an event with no callbacks")
+        if event._value is PENDING:
+            raise SimulationError("complete() requires an already-triggered event")
+        event.callbacks = None
+        self._events_processed += 1
+
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Place ``event`` on the queue ``delay`` time units in the future."""
@@ -100,24 +224,40 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to its time)."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise EmptySchedule()
-        when, _prio, _eid, event = heappop(self._queue)
+        when, _prio, _eid, event = heappop(queue)
 
         self._now = when
         callbacks = event.callbacks
         if callbacks is None:
             raise SimulationError(f"{event!r} was scheduled twice")
         event.callbacks = None
-        for callback in callbacks:
-            callback(event)
+        if callbacks:
+            if len(callbacks) == 1:
+                self._solo_callback = True
+                try:
+                    callbacks[0](event)
+                finally:
+                    self._solo_callback = False
+            else:
+                for callback in callbacks:
+                    callback(event)
         self._events_processed += 1
 
-        if not event._ok and not event._defused:
+        if event._ok:
+            if event.__class__ is PooledTimeout:
+                # Every waiter has been resumed (inside the callback loop
+                # above); the event object can serve the next sleep.
+                pool = self._timeout_pool
+                if len(pool) < _TIMEOUT_POOL_LIMIT:
+                    event._value = None
+                    pool.append(event)
+        elif not event._defused:
             # Nobody waited on a failed event: surface the error to the caller
             # rather than silently dropping it.
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
@@ -130,40 +270,39 @@ class Environment:
             * an :class:`Event` — run until that event has been processed and
               return its value.
         """
-        stop_event: Optional[Event] = None
-        stop_time: Optional[float] = None
-
         if until is None:
-            pass
-        elif isinstance(until, Event):
-            stop_event = until
-        else:
-            stop_time = float(until)
-            if stop_time < self._now:
-                raise SimulationError(
-                    f"until={stop_time!r} lies before the current time {self._now!r}"
-                )
+            # Drain the queue (the common whole-simulation run).
+            step = self.step
+            while self._queue:
+                step()
+            return None
 
-        while True:
-            if stop_event is not None and stop_event.processed:
-                if not stop_event._ok:
-                    stop_event._defused = True
-                    raise stop_event._value
-                return stop_event._value
-            if stop_time is not None and self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            try:
-                self.step()
-            except EmptySchedule:
-                if stop_event is not None and not stop_event.processed:
+        if isinstance(until, Event):
+            stop_event = until
+            step = self.step
+            while stop_event.callbacks is not None:
+                if not self._queue:
                     raise SimulationError(
                         "run(until=event) exhausted the schedule before the "
                         "event was triggered"
-                    ) from None
-                if stop_time is not None:
-                    self._now = stop_time
-                return None
+                    )
+                step()
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+
+        stop_time = float(until)
+        if stop_time < self._now:
+            raise SimulationError(
+                f"until={stop_time!r} lies before the current time {self._now!r}"
+            )
+        queue = self._queue
+        step = self.step
+        while queue and queue[0][0] <= stop_time:
+            step()
+        self._now = stop_time
+        return None
 
     def run_all(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, optionally bounded by ``max_events``.

@@ -9,6 +9,7 @@ failed or the process was interrupted).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.simcore.errors import Interrupt, SimulationError, StopProcess
@@ -19,6 +20,7 @@ __all__ = [
     "NORMAL",
     "Event",
     "Timeout",
+    "PooledTimeout",
     "Initialize",
     "Interruption",
     "Process",
@@ -101,7 +103,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined zero-delay schedule (succeed is the hottest trigger path).
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -162,6 +166,21 @@ class Timeout(Event):
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay!r} at {id(self):#x}>"
+
+
+class PooledTimeout(Timeout):
+    """A :class:`Timeout` drawn from the environment's free list.
+
+    Created only by :meth:`Environment.sleep` / :meth:`Environment.sleep_until`
+    and recycled by :meth:`Environment.step` the moment it has been processed.
+    The contract that makes recycling safe: a pooled timeout must be yielded
+    immediately by exactly one process and never stored, shared, or passed to
+    a :class:`ConditionEvent` — any holder-after-processing would observe the
+    event's *next* incarnation.  Model code that needs a shareable timeout
+    uses the plain :class:`Timeout` as before.
+    """
+
+    __slots__ = ()
 
 
 class Initialize(Event):
@@ -246,7 +265,8 @@ class Process(Event):
 
     # -- generator stepping ---------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         while True:
             try:
                 if event._ok:
@@ -259,18 +279,18 @@ class Process(Event):
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
-                self.env.schedule(self)
+                env.schedule(self)
                 break
             except StopProcess as exc:
                 self._generator.close()
                 self._ok = True
                 self._value = exc.value
-                self.env.schedule(self)
+                env.schedule(self)
                 break
             except BaseException as exc:  # noqa: BLE001 - propagate via event
                 self._ok = False
                 self._value = exc
-                self.env.schedule(self)
+                env.schedule(self)
                 break
 
             if not isinstance(next_event, Event):
@@ -279,7 +299,7 @@ class Process(Event):
                 )
                 self._ok = False
                 self._value = exc
-                self.env.schedule(self)
+                env.schedule(self)
                 break
 
             if next_event.callbacks is not None:
@@ -291,7 +311,7 @@ class Process(Event):
             event = next_event
 
         self._target = None if self.triggered else self._target
-        self.env._active_process = None
+        env._active_process = None
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", str(self._generator))

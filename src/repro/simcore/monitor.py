@@ -35,8 +35,14 @@ class TallyMonitor:
         delta = value - self._mean
         self._mean += delta / self.count
         self._m2 += delta * (value - self._mean)
-        self.minimum = value if self.minimum is None else min(self.minimum, value)
-        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        minimum = self.minimum
+        if minimum is None:
+            self.minimum = self.maximum = value
+        else:
+            if value < minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:

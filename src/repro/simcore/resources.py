@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional
 
 from repro.simcore.errors import SimulationError
-from repro.simcore.events import Event
+from repro.simcore.events import Event, PENDING
 
 __all__ = [
     "Request",
@@ -36,8 +36,16 @@ __all__ = [
 class Request(Event):
     """Event returned by :meth:`Resource.request`; triggers on acquisition."""
 
+    __slots__ = ("resource", "priority", "usage_since")
+
     def __init__(self, resource: "Resource", priority: float = 0.0):
-        super().__init__(resource.env)
+        # Inlined Event.__init__ (one request per core grant, NIC slot and
+        # staging handler — a hot allocation path).
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
         self.priority = priority
         self.usage_since: Optional[float] = None
@@ -63,14 +71,26 @@ class Request(Event):
 
 
 class Release(Event):
-    """Event returned by :meth:`Resource.release`; triggers immediately."""
+    """Event returned by :meth:`Resource.release`; completed in place.
+
+    The release's observable effect — removing the holder and granting
+    waiters — happens synchronously in ``_do_release`` before the event
+    object is even visible to the caller, and no model code ever waits on a
+    ``Release``.  The event is therefore completed immediately instead of
+    taking a trip through the queue; :meth:`Environment.complete` keeps the
+    processed-event count identical to the queued behaviour.
+    """
+
+    __slots__ = ("resource", "request")
 
     def __init__(self, resource: "Resource", request: Request):
         super().__init__(resource.env)
         self.resource = resource
         self.request = request
         resource._do_release(self)
-        self.succeed()
+        self._ok = True
+        self._value = None
+        self.env.complete(self)
 
 
 class Resource:
@@ -109,7 +129,14 @@ class Resource:
     # -- internal ---------------------------------------------------------
     def _do_request(self, request: Request) -> None:
         if len(self.users) < self._capacity:
-            self._grant(request)
+            # Immediate grant, completed in place when provably safe (see
+            # Environment.trigger_inplace).  Grants to *waiters* in
+            # _do_release always take the queue: the waiting process has a
+            # resume callback attached.
+            self.users.append(request)
+            env = self.env
+            request.usage_since = env._now
+            env.trigger_inplace(request)
         else:
             self._insert_waiter(request)
 
@@ -152,21 +179,33 @@ class PriorityResource(Resource):
 class StorePut(Event):
     """Event returned by :meth:`Store.put`; triggers once the item is stored."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env)
+        # Inlined Event.__init__ (one put per block/message — hot path).
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.item = item
-        store._put_waiters.append(self)
-        store._dispatch()
+        store._put(self)
 
 
 class StoreGet(Event):
     """Event returned by :meth:`Store.get`; its value is the retrieved item."""
 
+    __slots__ = ("filter_fn",)
+
     def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None):
-        super().__init__(store.env)
+        # Inlined Event.__init__ (one get per block/message — hot path).
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.filter_fn = filter_fn
-        store._get_waiters.append(self)
-        store._dispatch()
+        store._get(self)
 
     def cancel(self) -> None:
         """Withdraw a pending get (used by timeout races in the models)."""
@@ -209,23 +248,68 @@ class Store:
         return StoreGet(self)
 
     # -- internal ---------------------------------------------------------
+    def _put(self, put: StorePut) -> None:
+        """Admit one new put, fast-pathing the common uncontended case.
+
+        Invariant kept by every mutation: a non-empty put-waiter list means
+        the store is full, so a fresh put either lands immediately (store
+        has room, no queue) or queues behind the earlier waiters.  The
+        trigger order matches the generic dispatcher exactly — put first,
+        then any gets it unblocks — so event ids are unchanged.  When the
+        engine can prove the put's queue trip would be the immediate next
+        pop, the event completes in place and the putter continues
+        synchronously (see :meth:`Environment.trigger_inplace`).
+        """
+        items = self.items
+        if not self._put_waiters and len(items) < self._capacity:
+            items.append(put.item)
+            put.env.trigger_inplace(put)
+            if self._get_waiters:
+                self._dispatch()
+        else:
+            self._put_waiters.append(put)
+            self._dispatch()
+
+    def _get(self, get: StoreGet) -> None:
+        """Serve one new get, fast-pathing the plain-FIFO non-empty case.
+
+        The fast path requires no earlier get waiters (for a plain store a
+        non-empty waiter list implies an empty store, but a FilterStore may
+        hold unmatched waiters alongside items — those always take the
+        generic dispatcher).  Order matches the dispatcher: the get is
+        served first, then any put its freed slot admits; the in-place
+        completion shortcut follows the same proof as :meth:`_put`.
+        """
+        items = self.items
+        if not self._get_waiters and items and get.filter_fn is None:
+            get.env.trigger_inplace(get, items.pop(0))
+            if self._put_waiters:
+                self._dispatch()
+        else:
+            self._get_waiters.append(get)
+            self._dispatch()
+
     def _dispatch(self) -> None:
+        put_waiters = self._put_waiters
+        get_waiters = self._get_waiters
+        items = self.items
+        capacity = self._capacity
         progress = True
         while progress:
             progress = False
             # Admit puts while there is room.
-            while self._put_waiters and len(self.items) < self._capacity:
-                put = self._put_waiters.pop(0)
-                self.items.append(put.item)
+            while put_waiters and len(items) < capacity:
+                put = put_waiters.pop(0)
+                items.append(put.item)
                 put.succeed()
                 progress = True
             # Serve gets while items match.
             i = 0
-            while i < len(self._get_waiters):
-                get = self._get_waiters[i]
+            while i < len(get_waiters):
+                get = get_waiters[i]
                 matched = self._match(get)
                 if matched is not None:
-                    self._get_waiters.pop(i)
+                    get_waiters.pop(i)
                     get.succeed(matched)
                     progress = True
                 else:
@@ -250,6 +334,8 @@ class FilterStore(Store):
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         super().__init__(container.env)
         if amount <= 0:
@@ -260,6 +346,8 @@ class ContainerPut(Event):
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         super().__init__(container.env)
         if amount <= 0:

@@ -115,13 +115,58 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--store", default="", help="JSONL result store path (enables resume)")
     parser.add_argument("--trace", action="store_true", help="keep tracing enabled (slower)")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "cProfile one scenario of the chosen figure (the first case) and "
+            "print the top-20 cumulative entries instead of running the sweep"
+        ),
+    )
     return parser
+
+
+def profile_one(spec: SweepSpec) -> int:
+    """Profile the first scenario of ``spec`` and print the hot-path table.
+
+    Future hot-path work should start here: the table shows where one
+    representative scenario of the family actually spends its time, which is
+    what the fast-path optimisations in ``docs/performance.md`` were guided
+    by.
+    """
+    import cProfile
+    import pstats
+
+    cases = spec.cases()
+    if not cases:
+        print("error: the selected figure expands to zero scenarios", file=sys.stderr)
+        return 1
+    case = cases[0]
+    print(f"profiling scenario {case.label!r} of {spec.name} ...")
+
+    from repro.workflow.pipeline import PipelineSpec
+    from repro.workflow.runner import run_pipeline, run_workflow
+
+    config = case.config
+    runner = run_pipeline if isinstance(config, PipelineSpec) else run_workflow
+    runner(config)  # warm imports and caches outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = runner(config)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(20)
+    events = result.stats.get("events_processed", 0.0)
+    print(f"scenario events_processed={events:.0f}  end_to_end={result.end_to_end_time:.3f}s")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro.sweep``; returns the exit code."""
     args = _parser().parse_args(argv)
     spec = build_spec(args)
+    if args.profile:
+        return profile_one(spec)
 
     def progress(record: SweepRecord, done: int, total: int) -> None:
         """Print one progress row as each scenario finishes."""

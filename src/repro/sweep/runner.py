@@ -14,6 +14,11 @@ and yields one :class:`SweepRecord` per case.  Guarantees:
 * **Resume** — with a :class:`~repro.sweep.store.ResultStore` attached,
   scenarios whose ``(label, config-hash)`` key is already recorded are skipped
   and their stored summary is surfaced instead of being re-run.
+* **Warm workers** — the process pool persists across :meth:`SweepRunner.run`
+  calls, so grid families dispatched through one runner reuse already-forked
+  workers instead of paying pool start-up per grid; cases are dispatched in
+  chunks through ``imap_unordered``.  Call :meth:`SweepRunner.close` (or use
+  the runner as a context manager) to release the pool.
 """
 
 from __future__ import annotations
@@ -152,6 +157,52 @@ class SweepRunner:
         self.trace = trace
         self.progress = progress
         self.mp_context = mp_context
+        #: Records flushed to the store after this many buffered appends.
+        self.store_flush_every = 16
+        self._pool = None
+        self._pool_size = 0
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self, size_hint: int):
+        """The persistent worker pool, created on first parallel dispatch.
+
+        Sized at ``min(workers, size_hint)`` so a small dispatch does not
+        fork idle workers; a warm pool is reused as long as it is big enough
+        for the new dispatch, and grown (recreated) when a later, larger
+        grid arrives.
+        """
+        desired = min(self.workers, max(1, size_hint))
+        if self._pool is not None and self._pool_size < desired:
+            self.close()
+        if self._pool is None:
+            ctx = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context
+                else multiprocessing.get_context()
+            )
+            self._pool = ctx.Pool(processes=desired)
+            self._pool_size = desired
+        return self._pool
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent; runner stays usable)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # noqa: D105 - best-effort cleanup
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter may be shutting down
+            pass
 
     # -- preparation -------------------------------------------------------
     @staticmethod
@@ -209,28 +260,49 @@ class SweepRunner:
             else:
                 pending.append((index, case.label, digest, case.config))
 
+        writer = (
+            self.store.batch(flush_every=self.store_flush_every)
+            if self.store is not None
+            else None
+        )
+
         def _collect(index: int, record: SweepRecord) -> None:
             nonlocal done
             records[index] = record
             done += 1
-            if self.store is not None and not record.skipped:
-                self.store.append(record.payload())
+            if writer is not None and not record.skipped:
+                writer.append(record.payload())
             if self.progress is not None:
                 self.progress(record, done, total)
 
-        if self.workers > 1 and len(pending) > 1:
-            ctx = (
-                multiprocessing.get_context(self.mp_context)
-                if self.mp_context
-                else multiprocessing.get_context()
-            )
-            with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
-                for index, record in pool.imap_unordered(_execute_case, pending):
+        try:
+            if writer is not None:
+                writer.__enter__()
+            if self.workers > 1 and len(pending) > 1:
+                # Chunked dispatch over the persistent pool: one IPC round per
+                # chunk instead of per case, sized so every worker still gets
+                # several chunks for load balancing.
+                chunksize = max(1, len(pending) // (self.workers * 4))
+                pool = self._ensure_pool(len(pending))
+                try:
+                    for index, record in pool.imap_unordered(
+                        _execute_case, pending, chunksize=chunksize
+                    ):
+                        _collect(index, record)
+                except Exception:
+                    # A transport error inside a case is captured in its
+                    # record; reaching here means the pool itself broke
+                    # (unpicklable case, dead worker) — drop it so the next
+                    # run() starts from a clean pool.
+                    self.close()
+                    raise
+            else:
+                for payload in pending:
+                    index, record = _execute_case(payload)
                     _collect(index, record)
-        else:
-            for payload in pending:
-                index, record = _execute_case(payload)
-                _collect(index, record)
+        finally:
+            if writer is not None:
+                writer.close()
 
         return [r for r in records if r is not None]
 

@@ -20,7 +20,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.workflow.result import WorkflowResult
 
-__all__ = ["ResultStore", "result_payload"]
+__all__ = ["BatchWriter", "ResultStore", "result_payload"]
 
 
 def result_payload(result: WorkflowResult) -> Dict[str, object]:
@@ -115,9 +115,92 @@ class ResultStore:
         return found
 
     # -- writing -----------------------------------------------------------
+    def _torn_tail(self) -> bool:
+        """Whether the file ends in a half-written line (a crash artefact).
+
+        Appending straight after a torn line would concatenate the new
+        record onto it and corrupt both; writers heal the file with one
+        newline first, turning the torn tail into an ignorable corrupt line.
+        """
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(-1, 2)
+                return fh.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False
+
     def append(self, record: Dict[str, object]) -> None:
-        """Append one already-flattened record as a single JSON line."""
+        """Append one already-flattened record as a single JSON line.
+
+        Opens, writes and flushes per call — maximally crash-safe but slow
+        for high-rate producers; batch writers should use :meth:`batch`.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        healing = "\n" if self._torn_tail() else ""
         with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.write(healing + json.dumps(record, sort_keys=True) + "\n")
             fh.flush()
+
+    def batch(self, flush_every: int = 16) -> "BatchWriter":
+        """A buffered appender holding the file open across records.
+
+        Use as a context manager; records are flushed to disk every
+        ``flush_every`` appends and on exit, so a crash mid-batch loses at
+        most the records buffered since the last flush — every line that
+        *did* reach the file is intact, which is all resume needs (the
+        lost scenarios simply re-run).
+        """
+        return BatchWriter(self, flush_every=flush_every)
+
+
+class BatchWriter:
+    """Buffered batch-append handle of one :class:`ResultStore`.
+
+    The JSONL contract is unchanged: one self-contained record per line,
+    append-only.  What changes is the write path — one ``open`` for the
+    whole batch instead of one per record, with periodic flushes.
+    """
+
+    def __init__(self, store: ResultStore, flush_every: int = 16):
+        if flush_every <= 0:
+            raise ValueError("flush_every must be positive")
+        self.store = store
+        self.flush_every = flush_every
+        self.appended = 0
+        self._unflushed = 0
+        self._fh = None
+
+    def __enter__(self) -> "BatchWriter":
+        self.store.path.parent.mkdir(parents=True, exist_ok=True)
+        healing = self.store._torn_tail()
+        self._fh = self.store.path.open("a", encoding="utf-8")
+        if healing:
+            self._fh.write("\n")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Buffer one already-flattened record (flushed every ``flush_every``)."""
+        if self._fh is None:
+            raise RuntimeError("batch writer is not open; use it as a context manager")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.appended += 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Force buffered records to disk."""
+        if self._fh is not None and self._unflushed:
+            self._fh.flush()
+            self._unflushed = 0
+
+    def close(self) -> None:
+        """Flush and release the file handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+            self._unflushed = 0

@@ -27,7 +27,7 @@ from repro.transports.registry import register_transport
 __all__ = ["ZipperTransport", "BlockDescriptor"]
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockDescriptor:
     """Metadata of one fine-grain block travelling through the simulated runtime."""
 
@@ -125,20 +125,27 @@ class ZipperTransport(Transport):
         blocks = max(1, -(-nbytes // ctx.block_bytes))
         block_bytes = nbytes // blocks
         stall_start = None
+        env = ctx.env
+        rank_stats = ctx.sim_rank_stats[rank]
+        stats = ctx.stats
+        buffer = state.buffer
+        items = buffer.items
+        hwm = ctx.config.high_water_mark
+        note_level = ctx.note_buffer_level
         for index in range(blocks):
             desc = BlockDescriptor(rank, step, index, block_bytes)
-            start = ctx.env.now
-            yield state.buffer.put(desc)
-            waited = ctx.env.now - start
+            start = env._now
+            yield buffer.put(desc)
+            waited = env._now - start
             if waited > 0:
-                ctx.sim_rank_stats[rank]["stall_time"] += waited
-                ctx.stats["stall_time"] += waited
+                rank_stats["stall_time"] += waited
+                stats["stall_time"] += waited
                 if stall_start is None:
                     stall_start = start
             state.blocks_enqueued += 1
-            ctx.stats["blocks_produced"] += 1
-            ctx.note_buffer_level(rank, len(state.buffer.items))
-            if len(state.buffer.items) > ctx.config.high_water_mark:
+            stats["blocks_produced"] += 1
+            note_level(rank, len(items))
+            if len(items) > hwm:
                 state.above_watermark.notify_all()
         if stall_start is not None:
             ctx.record_sim(rank, "stall", stall_start, step=step)
@@ -151,27 +158,40 @@ class ZipperTransport(Transport):
 
     def _sender_process(self, ctx, rank: int, state: _ProducerState) -> Generator:
         env = ctx.env
+        buffer = state.buffer
+        items = buffer.items
+        rank_stats = ctx.sim_rank_stats[rank]
+        stats = ctx.stats
+        arank = ctx.consumer_of(rank)
+        delivery = self._consumers[arank].delivery
+        network = ctx.cluster.network
+        src = ctx.sim_node(rank)
+        dst = ctx.analysis_node(arank)
+        note_level = ctx.note_buffer_level
         while True:
-            idle_start = env.now
-            desc = yield state.buffer.get()
-            ctx.note_buffer_level(rank, len(state.buffer.items))
-            ctx.sim_rank_stats[rank]["sender_idle_time"] += env.now - idle_start
+            idle_start = env._now
+            desc = yield buffer.get()
+            note_level(rank, len(items))
+            rank_stats["sender_idle_time"] += env._now - idle_start
             if desc.eof:
-                yield self._consumers[ctx.consumer_of(rank)].delivery.put(desc)
+                yield delivery.put(desc)
                 return
-            arank = ctx.consumer_of(rank)
-            busy_start = env.now
-            yield from self.transfer_sim_to_analysis(
-                ctx, rank, arank, desc.nbytes, flow="zipper", congestion_weight=1.0
+            busy_start = env._now
+            yield from network.transfer(
+                src,
+                dst,
+                desc.nbytes,
+                flow="zipper",
+                congestion_weight=1.0,
+                rate_scale=ctx.bandwidth_share,
             )
-            elapsed = env.now - busy_start
-            ctx.sim_rank_stats[rank]["transfer_busy_time"] += elapsed
-            ctx.stats["blocks_sent_network"] += 1
-            ctx.stats["bytes_network"] += desc.nbytes
+            rank_stats["transfer_busy_time"] += env._now - busy_start
+            stats["blocks_sent_network"] += 1
+            stats["bytes_network"] += desc.nbytes
             self._blocks_sent_global += 1
             if self._blocks_sent_global % self._query_every == 0:
-                ctx.cluster.counters.query(env.now)
-            yield self._consumers[arank].delivery.put(desc)
+                ctx.cluster.counters.query(env._now)
+            yield delivery.put(desc)
 
     def _writer_process(self, ctx, rank: int, state: _ProducerState) -> Generator:
         """Algorithm 1: steal blocks onto the file path while above the high-water mark."""
@@ -257,10 +277,12 @@ class ZipperTransport(Transport):
         preserve = self._preserve(ctx)
         analyzed = 0
         env = ctx.env
+        rank_stats = ctx.analysis_rank_stats[arank]
+        delivery = cstate.delivery
         while analyzed < expected:
-            wait_start = env.now
-            desc = yield cstate.delivery.get()
-            ctx.analysis_rank_stats[arank]["wait_time"] += env.now - wait_start
+            wait_start = env._now
+            desc = yield delivery.get()
+            rank_stats["wait_time"] += env._now - wait_start
             if desc.eof:
                 continue
             if preserve and desc.via != "file":

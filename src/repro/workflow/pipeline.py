@@ -191,6 +191,12 @@ class PipelineSpec:
     staging_ranks_per_8_sim: int = 1
     #: Adaptation policy; ``None`` keeps the static resource split.
     elastic: Optional[ElasticPolicy] = None
+    #: Engine fast path: fast-forward pure-compute segments on guaranteed-
+    #: uncontended nodes in one event (elided events are credited, results
+    #: stay bit-identical — see ``docs/performance.md``).  Turn off to force
+    #: the per-phase event sequence, e.g. when external processes mutate
+    #: node allocations outside the elastic epoch protocol.
+    coalesce: bool = True
     label: str = ""
 
     def __post_init__(self) -> None:

@@ -153,6 +153,19 @@ class PipelineRunner:
         # elastic rank spawns can pick the least-loaded node of a stage.
         for node_id, count in self.placement.ranks_per_node().items():
             self.cluster.node(node_id).hosted_ranks = count
+        if pipeline.coalesce:
+            # Declare every node's worst-case compute concurrency (one slot
+            # per potential concurrent compute() of each hosted rank: a
+            # consuming rank runs one consumer process per inbound coupling).
+            # Nodes whose claims fit their core count can never queue a
+            # compute and take the simcore uncontended fast path; elastic
+            # assist spawns claim additional slots as they land.
+            for stage in pipeline.stages:
+                concurrency = max(1, len(pipeline.inbound(stage.name)))
+                for rank in range(self.placement.stage_ranks[stage.name]):
+                    self.cluster.node(
+                        self.placement.stage_node(stage.name, rank)
+                    ).claim_compute_slots(concurrency)
         #: Assist pools of rank-elastic stages, created on first spawn.
         self._assist_pools: Dict[str, _AssistPool] = {}
         #: The elastic adaptation loop (None for static runs).  Exposed so
@@ -243,6 +256,8 @@ class PipelineRunner:
         ]
         node = min(nodes, key=lambda n: (n.hosted_ranks, n.node_id))
         node.host_rank()
+        if self.pipeline.coalesce:
+            node.claim_compute_slots(1)
         self.ctx.env.process(self._assist_rank_process(stage_name, node, pool))
         pool.active += 1
         pool.spawned_total += 1
@@ -279,6 +294,8 @@ class PipelineRunner:
             unit = yield pool.queue.get()
             if unit is _RETIRE:
                 node.release_rank()
+                if self.pipeline.coalesce:
+                    node.release_compute_slots(1)
                 return
             start = env.now
             yield from node.compute(unit.seconds)
@@ -308,7 +325,19 @@ class PipelineRunner:
 
     # -- rank processes ----------------------------------------------------------
     def _source_rank_process(self, stage_name: str, rank: int) -> Generator:
-        """One rank of a source stage: compute phases, halos, per-step puts."""
+        """One rank of a source stage: compute phases, halos, per-step puts.
+
+        Per-step constants (phase chunks, halo topology, outbound transport
+        bindings) are hoisted out of the step/phase loops.  When the stage's
+        steps are pure compute — no mid-step halo exchange, no tracing, no
+        active assist offload — runs of compute calls between coupling
+        interactions are coalesced through
+        :meth:`~repro.cluster.node.ComputeNode.compute_batch`: one event per
+        step when every step ends in transport puts, one event for the whole
+        remaining run when there are no outbound couplings.  A pending
+        elastic epoch bounds every fast-forward so mid-run reallocations
+        still land exactly between the same steps as on the slow path.
+        """
         ctx = self.ctx
         env = ctx.env
         stage = self.pipeline.stage(stage_name)
@@ -323,38 +352,80 @@ class PipelineRunner:
             self.pipeline.stage_block_bytes(stage_name)
         )
         left, right = (rank - 1) % nranks, (rank + 1) % nranks
-        for step in range(steps):
+        # Hoisted per-step constants.
+        phases = tuple(workload.phase_fractions.items())
+        chunks = tuple(step_seconds * fraction for _phase, fraction in phases)
+        halo_bytes = workload.halo_bytes
+        halo_active = halo_bytes > 0 and workload.halo_neighbors > 0 and nranks > 1
+        double_halo = halo_active and workload.halo_neighbors > 1
+        out_bytes = ctx.stage_output_bytes[stage_name]
+        puts = tuple((cctx, self.transports[cctx.name]) for cctx in outbound)
+        coalescable = (
+            self.pipeline.coalesce and not self.tracer.enabled and not halo_active
+        )
+        controller = self.elastic_controller
+        pools = self._assist_pools
+
+        step = 0
+        while step < steps:
             step_start = env.now
+            pool = pools.get(stage_name)
+            if coalescable and node.can_batch and (pool is None or pool.active <= 0):
+                # With no outbound couplings there is no interaction until the
+                # end of the run, so the whole remaining step range coalesces
+                # — unless a controller may intervene, in which case segments
+                # stay one step long and bounded by the next epoch.
+                window = 1 if (puts or controller is not None) else steps - step
+                deadline = (
+                    controller.next_epoch_time
+                    if controller is not None
+                    else float("inf")
+                )
+                elapsed = yield from node.compute_batch(
+                    chunks, steps=window, deadline=deadline
+                )
+                if elapsed is not None:
+                    for span in elapsed:
+                        stats["compute_time"] += span
+                        stats["steps_done"] += 1.0
+                        put_start = env.now
+                        for cctx, transport in puts:
+                            yield from transport.producer_put(
+                                cctx, rank, step, out_bytes
+                            )
+                        ctx.record_stage(stage_name, rank, "put", put_start, step=step)
+                        stats["put_time"] += env.now - put_start
+                        ctx.record_stage(stage_name, rank, "step", step_start, step=step)
+                        step += 1
+                        step_start = env.now
+                    continue
+                # The batch declined (an epoch decision lands inside this
+                # step): run the exact per-phase sequence below, which sees
+                # any mid-step reallocation or assist spawn chunk by chunk.
             compute_this_step = 0.0
-            for phase, fraction in workload.phase_fractions.items():
+            for (phase, _fraction), chunk in zip(phases, chunks):
                 phase_start = env.now
-                yield from self._stage_compute(stage_name, node, step_seconds * fraction)
+                yield from self._stage_compute(stage_name, node, chunk)
                 compute_this_step += env.now - phase_start
                 ctx.record_stage(stage_name, rank, phase, phase_start, step=step)
-                if (
-                    phase == "streaming"
-                    and workload.halo_bytes > 0
-                    and workload.halo_neighbors > 0
-                    and nranks > 1
-                ):
-                    yield from comm.sendrecv(rank, right, workload.halo_bytes, left)
-                    if workload.halo_neighbors > 1:
-                        yield from comm.sendrecv(rank, left, workload.halo_bytes, right)
+                if phase == "streaming" and halo_active:
+                    yield from comm.sendrecv(rank, right, halo_bytes, left)
+                    if double_halo:
+                        yield from comm.sendrecv(rank, left, halo_bytes, right)
             stats["compute_time"] += compute_this_step
             # Per-stage progress counter for the elastic monitor/perf model:
             # unlike coupling byte flow (which measures the *transfer*, not
             # the stage), this advances only when the stage itself does.
             stats["steps_done"] += 1.0
             put_start = env.now
-            for cctx in outbound:
-                yield from self.transports[cctx.name].producer_put(
-                    cctx, rank, step, ctx.stage_output_bytes[stage_name]
-                )
+            for cctx, transport in puts:
+                yield from transport.producer_put(cctx, rank, step, out_bytes)
             ctx.record_stage(stage_name, rank, "put", put_start, step=step)
             stats["put_time"] += env.now - put_start
             ctx.record_stage(stage_name, rank, "step", step_start, step=step)
-        for cctx in outbound:
-            yield from self.transports[cctx.name].producer_finalize(cctx, rank)
+            step += 1
+        for cctx, transport in puts:
+            yield from transport.producer_finalize(cctx, rank)
         stats["finish_time"] = env.now
 
     def _consumer_rank_process(self, stage_name: str, rank: int) -> Generator:
@@ -372,6 +443,7 @@ class PipelineRunner:
         inbound = ctx.inbound(stage_name)
         outbound = ctx.outbound(stage_name)
         out_bytes = ctx.stage_output_bytes[stage_name]
+        out_pairs = tuple((oc, self.transports[oc.name]) for oc in outbound)
         expected_per_step = sum(
             self.transports[cctx.name].consumer_deliveries_per_step(cctx, rank)
             for cctx in inbound
@@ -394,14 +466,26 @@ class PipelineRunner:
             else None
         )
 
+        pools = self._assist_pools
+        tracing = self.tracer.enabled
+        cost_at = workload.analysis_seconds_per_byte_at
+
         def analyze(nbytes: int, step: int) -> Generator:
             """Charge the analysis cost for one delivery; forward complete steps."""
-            start = env.now
-            yield from self._stage_compute(
-                stage_name, node, workload.analysis_seconds_per_byte_at(step) * nbytes
-            )
-            ctx.record_stage(stage_name, rank, "analysis", start, step=step, nbytes=nbytes)
-            stats["analysis_time"] += env.now - start
+            start = env._now
+            # One delivery per fine-grain block makes this the consumer hot
+            # path: with no assist pool active, _stage_compute is exactly
+            # node.compute, so the extra generator frame is skipped.
+            pool = pools.get(stage_name)
+            if pool is None or pool.active <= 0:
+                yield from node.compute(cost_at(step) * nbytes)
+            else:
+                yield from self._stage_compute(stage_name, node, cost_at(step) * nbytes)
+            if tracing:
+                ctx.record_stage(
+                    stage_name, rank, "analysis", start, step=step, nbytes=nbytes
+                )
+            stats["analysis_time"] += env._now - start
             # Consumption progress (bytes actually analysed), the consuming
             # stages' equivalent of the sources' steps_done counter.
             stats["bytes_done"] += nbytes
@@ -414,10 +498,8 @@ class PipelineRunner:
                     while forward_state["next"] in ready_steps:
                         flush = forward_state["next"]
                         put_start = env.now
-                        for oc in outbound:
-                            yield from self.transports[oc.name].producer_put(
-                                oc, rank, flush, out_bytes
-                            )
+                        for oc, transport in out_pairs:
+                            yield from transport.producer_put(oc, rank, flush, out_bytes)
                         ctx.record_stage(stage_name, rank, "put", put_start, step=flush)
                         stats["put_time"] += env.now - put_start
                         ready_steps.discard(flush)
@@ -455,8 +537,8 @@ class PipelineRunner:
                 f"({expected_per_step} deliveries per step expected); fix "
                 "consumer_deliveries_per_step"
             )
-        for oc in outbound:
-            yield from self.transports[oc.name].producer_finalize(oc, rank)
+        for oc, transport in out_pairs:
+            yield from transport.producer_finalize(oc, rank)
         stats["finish_time"] = env.now
 
     def _stage_rank_process(self, stage_name: str, rank: int) -> Generator:

@@ -1,0 +1,169 @@
+"""The continuous-benchmark harness: suites, BENCH_*.json persistence, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    SUITES,
+    BenchResult,
+    bench_path,
+    compare,
+    load_result,
+    run_suite,
+    suite_cases,
+    write_result,
+)
+from repro.bench.__main__ import main as bench_main
+
+
+def make_result(events_per_sec=100_000.0, **overrides):
+    fields = dict(
+        suite="smoke",
+        wall_seconds=1.0,
+        events_processed=100_000,
+        events_per_sec=events_per_sec,
+        scenarios=2,
+        failed_scenarios=0,
+        sim_seconds=10.0,
+        timestamp="2026-01-01T00:00:00",
+    )
+    fields.update(overrides)
+    return BenchResult(**fields)
+
+
+class TestSuites:
+    def test_known_suites(self):
+        assert {"pipeline", "smoke", "elastic"} <= set(SUITES)
+
+    def test_suite_cases_expand(self):
+        cases = suite_cases("smoke")
+        assert [label for label, _ in cases] == ["chain/384", "fanout/384"]
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ValueError):
+            suite_cases("nope")
+
+    def test_run_smoke_suite(self):
+        result = run_suite("smoke", repeats=1)
+        assert result.scenarios == 2
+        assert result.failed_scenarios == 0
+        assert result.events_processed > 10_000
+        assert result.events_per_sec > 0
+        assert result.sim_seconds > 0
+        # events_processed is a *model* count: bit-stable run over run.
+        again = run_suite("smoke", repeats=1)
+        assert again.events_processed == result.events_processed
+
+    def test_repeats_scale_the_measurement(self):
+        one = run_suite("smoke", repeats=1)
+        two = run_suite("smoke", repeats=2)
+        assert two.events_processed == 2 * one.events_processed
+        assert two.scenarios == 2 * one.scenarios
+
+
+class TestPersistence:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = bench_path("smoke", tmp_path)
+        assert path.name == "BENCH_smoke.json"
+        write_result(make_result(), path)
+        loaded = load_result(path)
+        assert loaded is not None
+        assert loaded.events_per_sec == 100_000.0
+        assert json.loads(path.read_text())["suite"] == "smoke"
+
+    def test_write_records_the_replaced_baseline(self, tmp_path):
+        path = bench_path("smoke", tmp_path)
+        previous = make_result(events_per_sec=50_000.0)
+        write_result(make_result(events_per_sec=100_000.0), path, previous=previous)
+        loaded = load_result(path)
+        assert loaded.previous_events_per_sec == 50_000.0
+        assert loaded.speedup_vs_previous == pytest.approx(2.0)
+
+    def test_load_tolerates_missing_and_corrupt_files(self, tmp_path):
+        assert load_result(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_result(bad) is None
+        bad.write_text('["a list"]')
+        assert load_result(bad) is None
+
+    def test_load_ignores_unknown_fields(self, tmp_path):
+        path = tmp_path / "BENCH_smoke.json"
+        payload = make_result().as_dict()
+        payload["future_field"] = 42
+        path.write_text(json.dumps(payload))
+        assert load_result(path) is not None
+
+
+class TestCompare:
+    def test_no_baseline_is_neutral(self):
+        assert compare(make_result(), None) == {"speedup": 0.0, "regression_pct": 0.0}
+
+    def test_speedup_and_regression_math(self):
+        current = make_result(events_per_sec=80_000.0)
+        previous = make_result(events_per_sec=100_000.0)
+        delta = compare(current, previous)
+        assert delta["speedup"] == pytest.approx(0.8)
+        assert delta["regression_pct"] == pytest.approx(20.0)
+        assert compare(previous, current)["regression_pct"] == 0.0
+
+
+class TestCli:
+    def test_update_creates_the_baseline(self, tmp_path, capsys):
+        code = bench_main(
+            ["--suite", "smoke", "--repeats", "1", "--bench-dir", str(tmp_path), "--update"]
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_smoke.json").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_check_fails_on_regression_beyond_threshold(self, tmp_path, capsys):
+        # An absurdly fast committed baseline makes any real run a regression.
+        write_result(
+            make_result(events_per_sec=1e12), bench_path("smoke", tmp_path)
+        )
+        code = bench_main(
+            ["--suite", "smoke", "--repeats", "1", "--bench-dir", str(tmp_path), "--check"]
+        )
+        assert code == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_check_passes_against_a_slow_baseline(self, tmp_path):
+        write_result(make_result(events_per_sec=1.0), bench_path("smoke", tmp_path))
+        code = bench_main(
+            ["--suite", "smoke", "--repeats", "1", "--bench-dir", str(tmp_path), "--check"]
+        )
+        assert code == 0
+
+    def test_check_events_fails_on_model_change(self, tmp_path, capsys):
+        # A baseline whose event count cannot match the real suite: the
+        # machine-independent gate must trip regardless of wall clock.
+        write_result(
+            make_result(events_per_sec=1.0, events_processed=123),
+            bench_path("smoke", tmp_path),
+        )
+        code = bench_main(
+            [
+                "--suite", "smoke", "--repeats", "1",
+                "--bench-dir", str(tmp_path), "--check-events",
+            ]
+        )
+        assert code == 1
+        assert "events_processed changed" in capsys.readouterr().out
+
+    def test_check_events_passes_when_counts_match(self, tmp_path):
+        real = run_suite("smoke", repeats=1)
+        write_result(
+            make_result(events_per_sec=1e12, events_processed=real.events_processed),
+            bench_path("smoke", tmp_path),
+        )
+        code = bench_main(
+            [
+                "--suite", "smoke", "--repeats", "1",
+                "--bench-dir", str(tmp_path), "--check-events",
+            ]
+        )
+        assert code == 0

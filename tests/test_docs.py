@@ -21,6 +21,7 @@ REQUIRED_DOCS = (
     "docs/figures.md",
     "docs/elastic.md",
     "docs/perf-model.md",
+    "docs/performance.md",
 )
 
 #: Packages whose public API must be fully docstringed (mirrors the ruff

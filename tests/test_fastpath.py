@@ -1,0 +1,322 @@
+"""The engine fast path: pooled timeouts, event crediting, compute coalescing.
+
+The acceptance invariant of the fast path is *bit-identity*: for fixed seeds,
+a run with ``PipelineSpec.coalesce=True`` (the default) must produce exactly
+the same persisted payload — every time, breakdown and counter, including
+``events_processed`` — as the per-event slow path (``coalesce=False``), which
+itself reproduces the pre-fast-path engine event for event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    elastic_burst_pipeline,
+    figure2_configs,
+    model_driven_default_policy,
+    pipeline_chain,
+    pipeline_fanout,
+)
+from repro.cluster.machine import Cluster
+from repro.cluster.presets import bridges
+from repro.elastic import ModelDrivenPolicy
+from repro.simcore import Environment, PooledTimeout, SimulationError
+from repro.workflow.pipeline import lower_config
+from repro.workflow.runner import run_pipeline
+from repro.sweep.store import result_payload
+
+
+def payload_pair(pipeline):
+    """Persisted payloads of the same pipeline with the fast path on and off."""
+    fast = run_pipeline(pipeline.replace(coalesce=True))
+    slow = run_pipeline(pipeline.replace(coalesce=False))
+    return result_payload(fast), result_payload(slow)
+
+
+# -- engine primitives --------------------------------------------------------
+class TestPooledTimeouts:
+    def test_sleep_advances_like_timeout(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.sleep(1.5)
+            log.append(env.now)
+            yield env.sleep(0.5)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [1.5, 2.0]
+
+    def test_sleep_recycles_the_event_object(self):
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            for _ in range(3):
+                event = env.sleep(1.0)
+                seen.append(id(event))
+                yield event
+
+        env.process(proc(env))
+        env.run()
+        # An event returns to the free list only after its callbacks ran, so
+        # the next sleep (created inside the callback) allocates a second
+        # object — and from then on the two alternate out of the pool.
+        assert len(seen) == 3
+        assert seen[2] == seen[0]
+        assert len(set(seen)) == 2
+
+    def test_sleep_rejects_negative_delay(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.sleep(-0.1)
+
+    def test_sleep_until_rejects_the_past(self):
+        env = Environment(initial_time=2.0)
+        with pytest.raises(SimulationError):
+            env.sleep_until(1.0)
+
+    def test_sleep_until_jumps_to_absolute_time(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.sleep_until(3.25)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [3.25]
+        assert isinstance(env.sleep_until(env.now), PooledTimeout)
+
+
+class TestEventAccounting:
+    def test_credit_events_counts_without_processing(self):
+        env = Environment()
+        env.credit_events(5)
+        assert env.events_processed == 5
+
+    def test_complete_requires_triggered_callback_free_event(self):
+        env = Environment()
+        pending = env.event()
+        with pytest.raises(SimulationError):
+            env.complete(pending)
+        waited = env.event()
+        waited.succeed()
+        waited.add_callback(lambda e: None)
+        with pytest.raises(SimulationError):
+            env.complete(waited)
+
+    def test_release_is_counted_like_a_queued_event(self):
+        # One request grant + one timeout + one release = 3 events, exactly
+        # as when the release took a queue trip.
+        from repro.simcore import Resource, Timeout
+
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def proc(env):
+            req = res.request()
+            yield req
+            yield Timeout(env, 1.0)
+            res.release(req)
+
+        env.process(proc(env))
+        env.run()
+        # init + request + timeout + release + process-completion
+        assert env.events_processed == 5
+
+
+class TestComputeFastPath:
+    def make_node(self, claims=0):
+        cluster = Cluster(bridges(), num_nodes=1)
+        node = cluster.node(0)
+        if claims:
+            node.claim_compute_slots(claims)
+        return cluster.env, node
+
+    def test_unclaimed_node_keeps_slow_path(self):
+        env, node = self.make_node(claims=0)
+        assert not node.uncontended
+
+    def test_claims_beyond_cores_disable_fast_path(self):
+        env, node = self.make_node(claims=1)
+        assert node.uncontended
+        node.claim_compute_slots(node.spec.cores)
+        assert not node.uncontended
+        node.release_compute_slots(node.spec.cores)
+        assert node.uncontended
+
+    def test_fast_and_slow_compute_agree_on_time_and_events(self):
+        def run(claims):
+            env, node = self.make_node(claims=claims)
+
+            def proc(env):
+                for _ in range(4):
+                    yield from node.compute(0.25)
+
+            env.process(proc(env))
+            env.run()
+            return env.now, env.events_processed, node.busy_core_seconds
+
+        assert run(claims=1) == run(claims=0)
+
+    def test_compute_batch_matches_percall_sequence(self):
+        chunks = (0.45, 0.35, 0.20)
+
+        def run(batched):
+            env, node = self.make_node(claims=1)
+
+            def proc(env):
+                if batched:
+                    elapsed = yield from node.compute_batch(chunks, steps=3)
+                    assert len(elapsed) == 3
+                else:
+                    for _ in range(3):
+                        for chunk in chunks:
+                            yield from node.compute(chunk)
+
+            env.process(proc(env))
+            env.run()
+            return env.now, env.events_processed, node.busy_core_seconds
+
+        assert run(batched=True) == run(batched=False)
+
+    def test_compute_batch_declines_past_deadline(self):
+        env, node = self.make_node(claims=1)
+        outcome = []
+
+        def proc(env):
+            result = yield from node.compute_batch((1.0,), deadline=0.5)
+            outcome.append(result)
+            if result is None:
+                yield from node.compute(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert outcome == [None]
+        assert env.now == pytest.approx(1.0 / node.spec.core_speed)
+
+    def test_fast_path_holds_a_visible_core_slot(self):
+        """A fast-path compute occupies a slot, so contenders queue behind it.
+
+        Regression: when an elastic assist spawn pushes a node's claims past
+        its core count while a fast-path compute is mid-flight, later
+        slow-path computes must observe the true occupancy and queue —
+        finishing at the same time as with the fast path disabled.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.simcore import Timeout
+
+        def run(fast):
+            cluster = Cluster(bridges(), num_nodes=1)
+            node = cluster.node(0)
+            # A one-core node makes the contention observable.
+            node.spec = dc_replace(node.spec, cores=1)
+            node.cores._capacity = 1
+            if fast:
+                node.claim_compute_slots(1)
+            env = cluster.env
+            finishes = {}
+
+            def proc_a(env):
+                yield from node.compute(10.0 * node.spec.core_speed)
+                finishes["a"] = env.now
+
+            def spawn_then_b(env):
+                yield Timeout(env, 5.0)
+                node.claim_compute_slots(1)  # claims now exceed the core count
+                yield from node.compute(10.0 * node.spec.core_speed)
+                finishes["b"] = env.now
+
+            env.process(proc_a(env))
+            env.process(spawn_then_b(env))
+            env.run()
+            return finishes
+
+        fast = run(fast=True)
+        slow = run(fast=False)
+        assert fast == slow
+        assert slow["b"] == pytest.approx(20.0)  # queued behind A, not overlapped
+
+    def test_compute_batch_declines_on_unclaimed_node(self):
+        env, node = self.make_node(claims=0)
+
+        def proc(env):
+            result = yield from node.compute_batch((1.0,))
+            assert result is None
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 0.0
+
+
+# -- whole-run bit-identity ---------------------------------------------------
+class TestCoalescingBitIdentity:
+    @pytest.mark.parametrize(
+        "label,config",
+        figure2_configs(steps=4, representative_sim_ranks=4),
+        ids=lambda val: val if isinstance(val, str) else "",
+    )
+    def test_all_transports(self, label, config):
+        """Fast path on vs off across every transport of Figure 2 (+ zipper/none)."""
+        fast, slow = payload_pair(lower_config(config))
+        assert fast == slow
+
+    @pytest.mark.parametrize("shape", [pipeline_chain, pipeline_fanout])
+    def test_multi_stage_pipelines(self, shape):
+        fast, slow = payload_pair(shape(total_cores=384, steps=6))
+        assert fast == slow
+
+    def test_jittered_run(self):
+        """Per-call jitter draws survive the fast path (batching auto-disables)."""
+        pipeline = pipeline_chain(total_cores=384, steps=4).replace(
+            deterministic=False, seed=123
+        )
+        fast, slow = payload_pair(pipeline)
+        assert fast == slow
+
+    def test_traced_run_disables_coalescing_but_not_results(self):
+        pipeline = pipeline_chain(total_cores=384, steps=4, trace=True)
+        fast, slow = payload_pair(pipeline)
+        assert fast == slow
+
+
+class TestElasticCoalescingBitIdentity:
+    def bursty(self, **overrides):
+        return elastic_burst_pipeline(sim_cores=192, steps=12).replace(**overrides)
+
+    def test_threshold_policy_run(self):
+        from repro.bench.experiments import elastic_default_policy
+
+        fast, slow = payload_pair(self.bursty(elastic=elastic_default_policy()))
+        assert fast.get("rebalances"), "scenario must actually rebalance mid-run"
+        assert fast == slow
+
+    def test_model_driven_reallocation_splits_coalesced_segments(self):
+        """Mid-run reallocations land between the same steps as on the slow path."""
+        pipeline = self.bursty(elastic=model_driven_default_policy())
+        fast, slow = payload_pair(pipeline)
+        assert fast.get("rebalances"), "scenario must actually rebalance mid-run"
+        assert fast == slow
+
+    def test_rank_elastic_assist_spawns(self):
+        """Spawned assist ranks claim compute slots and stay bit-identical."""
+        pipeline = self.bursty(elastic=model_driven_default_policy())
+        pipeline = pipeline.replace(
+            stages=tuple(s.replace(elastic_ranks=True) for s in pipeline.stages)
+        )
+        fast = run_pipeline(pipeline.replace(coalesce=True))
+        slow = run_pipeline(pipeline.replace(coalesce=False))
+        assert result_payload(fast) == result_payload(slow)
+
+    def test_never_policy_still_matches_static(self):
+        static = run_pipeline(self.bursty())
+        never = run_pipeline(
+            self.bursty(elastic=ModelDrivenPolicy.never(epoch_seconds=0.25))
+        )
+        assert result_payload(never) == result_payload(static)

@@ -312,3 +312,84 @@ class TestResultStoreResume:
         assert loaded["label"] == "case"
         assert loaded["end_to_end_time"] == pytest.approx(record.result.end_to_end_time)
         assert json.dumps(loaded)  # stays JSON-serialisable
+
+
+class TestBatchWriter:
+    def payloads(self, n):
+        return [{"label": f"case-{i}", "config_hash": f"h{i}", "ok": True} for i in range(n)]
+
+    def test_batch_appends_one_record_per_line(self, tmp_path):
+        store = ResultStore(tmp_path / "batch.jsonl")
+        with store.batch(flush_every=4) as writer:
+            for payload in self.payloads(10):
+                writer.append(payload)
+            assert writer.appended == 10
+        assert len(store.load()) == 10
+
+    def test_flush_every_bounds_what_a_crash_loses(self, tmp_path):
+        store = ResultStore(tmp_path / "batch.jsonl")
+        writer = store.batch(flush_every=4).__enter__()
+        for payload in self.payloads(10):
+            writer.append(payload)
+        # Inspect the on-disk file while the handle is still open — what a
+        # hard crash at this instant would leave behind.  Exactly the two
+        # full flush batches (8 records) are durable; the 2 records buffered
+        # since the last flush are not yet.
+        on_disk = [r["label"] for r in store.iter_records()]
+        assert on_disk == [f"case-{i}" for i in range(8)]
+        writer.close()
+        assert len(store.load()) == 10
+
+    def test_resume_after_mid_batch_crash_reruns_only_the_lost_tail(self, tmp_path):
+        """The satellite invariant: (label, config-hash) resume survives a crash."""
+        store_path = tmp_path / "sweep.jsonl"
+        cases = [(f"case-{i}", small_config(seed=i + 1)) for i in range(6)]
+
+        # A full run, buffered through the runner's batch writer.
+        runner = SweepRunner(workers=0, store=ResultStore(store_path), trace=False)
+        runner.store_flush_every = 2
+        first = runner.run(cases)
+        assert all(r.ok and not r.skipped for r in first)
+
+        # Simulate the crash: drop the final record entirely (lost buffer)
+        # and leave a torn, half-written JSON line behind it.
+        lines = store_path.read_text().splitlines()
+        store_path.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        )
+
+        second = SweepRunner(workers=0, store=ResultStore(store_path), trace=False).run(cases)
+        skipped = [r.label for r in second if r.skipped]
+        rerun = [r.label for r in second if not r.skipped]
+        assert skipped == [f"case-{i}" for i in range(5)]
+        assert rerun == ["case-5"]
+        # After the resume the store is whole again: every key completed.
+        keys = ResultStore(store_path).completed_keys()
+        assert {label for label, _ in keys} == {f"case-{i}" for i in range(6)}
+
+
+class TestPersistentPool:
+    def test_pool_survives_across_runs_and_close_releases_it(self):
+        runner = SweepRunner(workers=2, trace=False)
+        try:
+            cases = [(f"a-{i}", small_config(seed=i + 1)) for i in range(3)]
+            first = runner.run(cases)
+            pool = runner._pool
+            assert pool is not None  # created on first parallel dispatch
+            second = runner.run([(f"b-{i}", small_config(seed=i + 9)) for i in range(3)])
+            assert runner._pool is pool  # warm workers reused, not respawned
+            assert all(r.ok for r in first + second)
+        finally:
+            runner.close()
+        assert runner._pool is None
+
+    def test_context_manager_closes_the_pool(self):
+        with SweepRunner(workers=2, trace=False) as runner:
+            records = runner.run([(f"c-{i}", small_config(seed=i + 1)) for i in range(2)])
+            assert all(r.ok for r in records)
+        assert runner._pool is None
+
+    def test_serial_runner_never_creates_a_pool(self):
+        with SweepRunner(workers=0, trace=False) as runner:
+            runner.run([("case", small_config())])
+            assert runner._pool is None
