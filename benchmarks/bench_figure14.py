@@ -18,7 +18,7 @@ from __future__ import annotations
 from conftest import bench_data_mib, bench_workers
 
 from repro.bench import format_table
-from repro.bench.experiments import SYNTHETIC_SCALING_CORES, figure14_configs
+from repro.bench.experiments import figure14_configs
 from repro.sweep import run_labelled
 
 MiB = 1024 * 1024

@@ -11,7 +11,7 @@ the shape an in-situ analysis actually takes when fed by Zipper.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable
 
 import numpy as np
 

@@ -1,12 +1,15 @@
 """Command-line bench harness driver: ``python -m repro.bench``.
 
 Runs the named bench suites (default: the headline ``pipeline`` suite),
-prints each measurement next to the committed ``BENCH_<suite>.json``
-baseline, and optionally rewrites the baseline or fails on regression::
+prints each measurement next to the committed ``BENCH_<suite>.json`` history
+series, and optionally appends to it or fails on regression::
 
     PYTHONPATH=src python -m repro.bench                       # measure + compare
     PYTHONPATH=src python -m repro.bench --suite smoke --check # CI regression gate
-    PYTHONPATH=src python -m repro.bench --update              # refresh baselines
+    PYTHONPATH=src python -m repro.bench --update              # append a new entry
+
+``--check`` gates against the *best* entry ever recorded, not merely the
+latest, so a slow intervening measurement cannot hide a real regression.
 
 See ``docs/performance.md`` for the JSON schema and how to read the numbers.
 """
@@ -19,8 +22,9 @@ from typing import List, Optional
 from repro.bench.harness import (
     SUITES,
     bench_path,
+    best_result,
     compare,
-    load_result,
+    load_history,
     run_suite,
     write_result,
 )
@@ -60,8 +64,9 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "exit non-zero if events/sec regressed more than --max-regression "
-            "(wall-clock based — compare against a baseline from comparable "
-            "hardware, e.g. the previous CI run's artifact)"
+            "vs the best recorded entry (wall-clock based — compare against a "
+            "history from comparable hardware, e.g. the previous CI run's "
+            "artifact)"
         ),
     )
     parser.add_argument(
@@ -90,9 +95,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures: List[str] = []
     for suite in suites:
         path = bench_path(suite, args.bench_dir)
-        previous = load_result(path)
+        history = load_history(path)
+        previous = history[-1] if history else None
+        best = best_result(history)
         result = run_suite(suite, workers=args.workers, repeats=args.repeats)
         delta = compare(result, previous)
+        best_delta = compare(result, best)
 
         print(f"suite {suite}: {result.scenarios} scenarios in {result.wall_seconds:.2f}s")
         print(
@@ -102,7 +110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if previous is not None:
             print(
-                f"  baseline ({path.name}): events/sec={previous.events_per_sec:,.0f} "
+                f"  latest of {len(history)} ({path.name}): "
+                f"events/sec={previous.events_per_sec:,.0f} "
                 f"-> speedup {delta['speedup']:.2f}x"
                 + (
                     f"  (REGRESSION {delta['regression_pct']:.1f}%)"
@@ -111,14 +120,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             )
         else:
-            print(f"  no baseline at {path} (run with --update to create one)")
+            print(f"  no history at {path} (run with --update to create one)")
+        if best is not None and previous is not None and best is not previous:
+            print(
+                f"  best recorded: events/sec={best.events_per_sec:,.0f} "
+                f"({best.timestamp}) -> speedup {best_delta['speedup']:.2f}x"
+            )
 
         if result.failed_scenarios:
             failures.append(f"{suite}: {result.failed_scenarios} scenario(s) failed")
-        if args.check and previous is not None and delta["regression_pct"] > args.max_regression:
+        if args.check and best is not None and best_delta["regression_pct"] > args.max_regression:
             failures.append(
-                f"{suite}: events/sec regressed {delta['regression_pct']:.1f}% "
-                f"(allowed {args.max_regression:.1f}%) vs {path.name}"
+                f"{suite}: events/sec regressed {best_delta['regression_pct']:.1f}% "
+                f"(allowed {args.max_regression:.1f}%) vs best recorded entry "
+                f"in {path.name}"
             )
         if (
             args.check_events

@@ -5,11 +5,14 @@ simulator itself.  A :class:`BenchResult` records how fast the discrete-event
 engine chewed through a named scenario suite — wall seconds, events processed,
 events per second, scenario count — and is persisted as ``BENCH_<suite>.json``
 at the repository root, so every PR that touches a hot path leaves a
-comparable data point behind.  ``python -m repro.bench`` runs the suites,
-compares against the committed JSON and (with ``--update``) rewrites it,
-carrying the previous throughput forward so speedups/regressions stay on
-record; CI runs the ``smoke`` suite with ``--check`` and fails on a >20%
-events/sec regression.
+comparable data point behind.  Each ``BENCH_<suite>.json`` holds a *history
+series* — every recorded measurement in chronological order (capped at
+:data:`HISTORY_LIMIT`) — so the whole optimisation trail of a suite stays
+on record, not just the last point.  ``python -m repro.bench`` runs the
+suites, compares against the latest *and best* recorded entries and (with
+``--update``) appends the new measurement; CI runs the ``smoke`` suite with
+``--check`` and fails on a >20% events/sec regression against the **best**
+entry ever recorded, so a slow baseline refresh cannot mask a real loss.
 
 ``events_processed`` counts *modelled* events: the engine's fast paths
 (see ``docs/performance.md``) credit the events they elide, so the count is
@@ -22,7 +25,6 @@ from __future__ import annotations
 
 import json
 import platform
-import sys
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -30,14 +32,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "BenchResult",
+    "HISTORY_LIMIT",
     "SUITES",
     "bench_path",
+    "best_result",
     "compare",
+    "load_history",
     "load_result",
     "run_suite",
     "suite_cases",
     "write_result",
 ]
+
+#: Most entries a suite's history series keeps; appending beyond it drops the
+#: oldest entries.  Generous for one entry per landed optimisation PR.
+HISTORY_LIMIT = 100
 
 #: Registry of named suites: suite name -> (case factory, repeats).
 SUITES: Dict[str, Tuple[Callable[[], List[Tuple[str, object]]], int]] = {}
@@ -198,15 +207,8 @@ def _repo_root() -> Path:
     return Path(__file__).resolve().parents[3]
 
 
-def load_result(path: Union[str, Path]) -> Optional[BenchResult]:
-    """Load a previously written result, or ``None`` if absent/corrupt."""
-    path = Path(path)
-    if not path.exists():
-        return None
-    try:
-        raw = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
-        return None
+def _entry_from_dict(raw: object) -> Optional[BenchResult]:
+    """A :class:`BenchResult` from one JSON entry (``None`` if malformed)."""
     if not isinstance(raw, dict):
         return None
     known = {f for f in BenchResult.__dataclass_fields__}
@@ -217,18 +219,77 @@ def load_result(path: Union[str, Path]) -> Optional[BenchResult]:
         return None
 
 
+def load_history(path: Union[str, Path]) -> List[BenchResult]:
+    """Load a suite's recorded history series, oldest first.
+
+    Reads the ``{"suite": ..., "history": [...]}`` schema; a legacy one-slot
+    file (a single result object at the top level, the pre-history format)
+    loads as a single-entry series.  Absent or corrupt files load as empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(raw, dict):
+        return []
+    if isinstance(raw.get("history"), list):
+        entries = [_entry_from_dict(item) for item in raw["history"]]
+        return [e for e in entries if e is not None]
+    single = _entry_from_dict(raw)
+    return [single] if single is not None else []
+
+
+def load_result(path: Union[str, Path]) -> Optional[BenchResult]:
+    """The *latest* recorded result, or ``None`` if the file is absent/corrupt."""
+    history = load_history(path)
+    return history[-1] if history else None
+
+
+def best_result(history: Sequence[BenchResult]) -> Optional[BenchResult]:
+    """The highest-throughput entry of a history series (``None`` if empty).
+
+    Ties keep the earliest entry, so the reference point is stable when a
+    re-measurement lands on exactly the baseline throughput.
+    """
+    best: Optional[BenchResult] = None
+    for entry in history:
+        if best is None or entry.events_per_sec > best.events_per_sec:
+            best = entry
+    return best
+
+
 def write_result(
     result: BenchResult,
     path: Union[str, Path],
     previous: Optional[BenchResult] = None,
+    limit: int = HISTORY_LIMIT,
 ) -> Path:
-    """Write a result as ``BENCH_<suite>.json``, recording the replaced baseline."""
+    """Append ``result`` to the suite's ``BENCH_<suite>.json`` history series.
+
+    The existing series (legacy one-slot files included) is preserved, the
+    new measurement is stamped with its speedup vs ``previous`` (defaulting
+    to the latest recorded entry) and appended, and the series is trimmed to
+    the newest ``limit`` entries.
+    """
     path = Path(path)
+    history = load_history(path)
+    if previous is None and history:
+        previous = history[-1]
     if previous is not None and previous.events_per_sec > 0:
         result.previous_events_per_sec = previous.events_per_sec
         result.speedup_vs_previous = result.events_per_sec / previous.events_per_sec
+    history.append(result)
+    if limit > 0:
+        history = history[-limit:]
+    payload = {
+        "suite": result.suite,
+        "history": [entry.as_dict() for entry in history],
+    }
     path.write_text(
-        json.dumps(result.as_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return path
 

@@ -10,7 +10,7 @@ times at the port's line rate and accumulated into ``xmit_wait``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 __all__ = ["PortCounters", "CounterRegistry"]

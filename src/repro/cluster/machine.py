@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Iterable, List, Optional
 
 from repro.simcore import Environment, RandomStreams
 from repro.cluster.counters import CounterRegistry
@@ -98,7 +98,7 @@ class Cluster:
     def node(self, node_id: int) -> ComputeNode:
         return self.nodes[node_id]
 
-    def set_node_allocation(self, node_ids, scale: float) -> None:
+    def set_node_allocation(self, node_ids: Iterable[int], scale: float) -> None:
         """Re-scale the effective compute rate of a group of nodes.
 
         The single entry point elastic controllers use to apply a stage
@@ -118,7 +118,7 @@ class Cluster:
         rpn = ranks_per_node if ranks_per_node is not None else self.spec.node.cores
         return (rank // rpn) % self.num_nodes
 
-    def run(self, until=None):
+    def run(self, until: Optional[Any] = None) -> Any:
         """Run the underlying simulation environment."""
         return self.env.run(until)
 

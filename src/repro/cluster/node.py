@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Generator, List, Optional, Sequence, Union
 
 from repro.simcore import Container, Environment, RandomStreams, Resource, Timeout
 from repro.cluster.spec import NodeSpec
+
+if TYPE_CHECKING:
+    from repro.simcore.resources import ContainerGet, ContainerPut
 
 __all__ = ["ComputeNode"]
 
@@ -289,11 +292,11 @@ class ComputeNode:
         env.credit_events(credit)
         return elapsed
 
-    def allocate_memory(self, nbytes: float):
+    def allocate_memory(self, nbytes: float) -> "ContainerPut":
         """Reserve ``nbytes`` of node memory (blocks while unavailable)."""
         return self.memory.put(nbytes)
 
-    def free_memory(self, nbytes: float):
+    def free_memory(self, nbytes: float) -> "ContainerGet":
         """Release ``nbytes`` of node memory."""
         return self.memory.get(nbytes)
 

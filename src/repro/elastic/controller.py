@@ -39,12 +39,16 @@ wake-up events are subtracted from the reported event totals).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.elastic.monitor import EpochHealth, EpochMonitor
 from repro.elastic.policy import ElasticPolicy, RebalanceEvent
 from repro.perfmodel.pipeline import baseline_cores
 from repro.simcore import PeriodicController
+
+if TYPE_CHECKING:
+    from repro.workflow.context import PipelineContext
+    from repro.workflow.runner import PipelineRunner
 
 __all__ = ["ElasticControllerBase", "ElasticController", "MIN_TRANSFER"]
 
@@ -71,7 +75,12 @@ class ElasticControllerBase:
         controller needs its rank-lifecycle hooks (``None`` otherwise).
     """
 
-    def __init__(self, ctx, policy: ElasticPolicy, runner=None):
+    def __init__(
+        self,
+        ctx: "PipelineContext",
+        policy: ElasticPolicy,
+        runner: Optional["PipelineRunner"] = None,
+    ):
         self.ctx = ctx
         self.policy = policy
         self.runner = runner

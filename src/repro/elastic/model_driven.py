@@ -32,13 +32,17 @@ static run, exactly like the threshold controller's never-triggering policy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.elastic.controller import ElasticControllerBase, MIN_TRANSFER
 from repro.elastic.monitor import EpochHealth
 from repro.elastic.policy import ElasticPolicy, RebalanceEvent
 from repro.perfmodel.pipeline import PipelinePerfModel
 from repro.simcore import PIDSmoother
+
+if TYPE_CHECKING:
+    from repro.workflow.context import PipelineContext
+    from repro.workflow.runner import PipelineRunner
 
 __all__ = ["ModelDrivenPolicy", "ModelDrivenController"]
 
@@ -92,7 +96,9 @@ class ModelDrivenPolicy(ElasticPolicy):
         """
         return cls(epoch_seconds=epoch_seconds, deadband_fraction=float("inf"))
 
-    def build_controller(self, ctx, runner=None) -> "ModelDrivenController":
+    def build_controller(
+        self, ctx: "PipelineContext", runner: Optional["PipelineRunner"] = None
+    ) -> "ModelDrivenController":
         """Instantiate the model-driven controller for one run."""
         return ModelDrivenController(ctx, self, runner=runner)
 
@@ -105,7 +111,12 @@ class ModelDrivenController(ElasticControllerBase):
     differs — see the module docstring for the three-step epoch loop.
     """
 
-    def __init__(self, ctx, policy: ModelDrivenPolicy, runner=None):
+    def __init__(
+        self,
+        ctx: "PipelineContext",
+        policy: ModelDrivenPolicy,
+        runner: Optional["PipelineRunner"] = None,
+    ):
         super().__init__(ctx, policy, runner=runner)
         self.model = PipelinePerfModel(
             ctx.pipeline,

@@ -23,9 +23,12 @@ events and never mutates model state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from repro.simcore import CounterDeltas
+
+if TYPE_CHECKING:
+    from repro.workflow.context import PipelineContext
 
 __all__ = ["StageHealth", "CouplingHealth", "EpochHealth", "EpochMonitor"]
 
@@ -92,7 +95,7 @@ class EpochHealth:
 class EpochMonitor:
     """Snapshot the pipeline's counters and emit per-epoch health reports."""
 
-    def __init__(self, ctx):
+    def __init__(self, ctx: "PipelineContext"):
         self.ctx = ctx
         self._deltas = CounterDeltas()
         self._last_time = float(ctx.env.now)

@@ -16,7 +16,12 @@ store (see ``docs/sweep-format.md`` for the JSONL schema).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:
+    from repro.elastic.controller import ElasticControllerBase
+    from repro.workflow.context import PipelineContext
+    from repro.workflow.runner import PipelineRunner
 
 __all__ = ["ElasticPolicy", "RebalanceEvent"]
 
@@ -113,7 +118,9 @@ class ElasticPolicy:
         """A copy of the policy with ``changes`` applied."""
         return replace(self, **changes)
 
-    def build_controller(self, ctx, runner=None):
+    def build_controller(
+        self, ctx: "PipelineContext", runner: Optional["PipelineRunner"] = None
+    ) -> "ElasticControllerBase":
         """Instantiate the controller that executes this policy.
 
         The base policy builds the threshold

@@ -1,0 +1,34 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.framework import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport) -> str:
+    """One line per finding plus a summary, byte-stable for golden tests."""
+    lines: List[str] = [finding.render() for finding in report.findings]
+    for path, error in report.errors:
+        lines.append(f"{path}: {error}")
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    summary = f"{len(report.findings)} {noun} in {report.files_checked} file(s)"
+    if report.fixes_applied:
+        summary += f"; {report.fixes_applied} fix(es) applied"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The full report as a sorted, indented JSON document."""
+    payload = {
+        "files_checked": report.files_checked,
+        "fixes_applied": report.fixes_applied,
+        "findings": [finding.as_dict() for finding in report.findings],
+        "errors": [{"path": path, "error": error} for path, error in report.errors],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

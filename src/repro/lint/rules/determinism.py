@@ -1,0 +1,206 @@
+"""Determinism rules (``D``): model results must be a function of config + seeds.
+
+Every transport comparison this reproduction makes assumes two runs with the
+same configuration and seeds produce bit-identical results.  These rules ban
+the three classic ways that property silently erodes: process-global RNGs,
+wall-clock reads leaking into model time, and iteration over containers whose
+order is not defined by the model.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, MODEL_PACKAGES, Module, Rule, register
+from repro.lint.rules._helpers import canonical_call, dotted_name, import_aliases
+
+__all__ = ["UnseededRandom", "WallClock", "UnorderedIteration", "EnvironInModel"]
+
+#: Wall-clock reads that must never appear in model code: they make model
+#: behaviour depend on the machine instead of the configuration.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``numpy.random`` members that are seeded-constructor machinery rather than
+#: draws from the process-global generator.
+_NUMPY_SEEDED_OK = frozenset({"SeedSequence", "Generator", "BitGenerator", "PCG64"})
+
+
+@register
+class UnseededRandom(Rule):
+    """D201: no process-global RNG draws in model code."""
+
+    id = "D201"
+    name = "unseeded-random"
+    rationale = (
+        "Draws from the process-global `random` / `numpy.random` state depend "
+        "on import order and whatever ran before; model code must draw from "
+        "`repro.simcore.rng.RandomStreams`, whose streams are derived from "
+        "the scenario label and seed."
+    )
+    scope = MODEL_PACKAGES
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Flag calls into the global `random` module or `numpy.random` state."""
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = canonical_call(node, aliases)
+            if target is None:
+                continue
+            if target == "random" or target.startswith("random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{target}()` draws from the process-global RNG; use a "
+                    "seeded RandomStreams stream instead",
+                )
+                continue
+            if ".random." in target or target.endswith(".random"):
+                root, _, member = target.rpartition(".")
+                if root in ("numpy.random", "np.random") or target in (
+                    "numpy.random",
+                    "np.random",
+                ):
+                    if member in _NUMPY_SEEDED_OK:
+                        continue
+                    if member == "default_rng" and (node.args or node.keywords):
+                        continue  # explicitly seeded generator construction
+                    yield self.finding(
+                        module,
+                        node,
+                        f"`{target}()` uses numpy's process-global RNG (or an "
+                        "unseeded generator); construct via "
+                        "`np.random.default_rng(seed)` or RandomStreams",
+                    )
+
+
+@register
+class WallClock(Rule):
+    """D202: no wall-clock reads in model code."""
+
+    id = "D202"
+    name = "wall-clock"
+    rationale = (
+        "Model time is `env.now`; reading the host clock inside model code "
+        "couples simulated results to machine speed.  Wall-clock timing "
+        "belongs in the measurement layers (`repro.bench`, `repro.trace`, "
+        "`repro.sweep`, the threaded `repro.core` runtime), which are outside "
+        "this rule's scope."
+    )
+    scope = MODEL_PACKAGES
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Flag `time.time()`, `perf_counter()`, `datetime.now()` and kin."""
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = canonical_call(node, aliases)
+            if target in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{target}()` reads the wall clock inside model code; "
+                    "model time must come from `env.now`",
+                )
+
+
+@register
+class UnorderedIteration(Rule):
+    """D203: no iteration over sets (or dict.popitem) in model code."""
+
+    id = "D203"
+    name = "unordered-iter"
+    rationale = (
+        "Set iteration order depends on insertion history and hash seeds; "
+        "when it feeds event scheduling, two identical runs schedule in "
+        "different orders.  Iterate lists/dicts (insertion-ordered) or wrap "
+        "in `sorted(...)`."
+    )
+    scope = MODEL_PACKAGES
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Flag `for x in {a set}` / comprehensions over sets / `popitem()`."""
+        for node in ast.walk(module.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr == "popitem":
+                    yield self.finding(
+                        module,
+                        node,
+                        "`popitem()` removes an arbitrary end of the dict; pop "
+                        "an explicit key so removal order is part of the model",
+                    )
+                continue
+            for it in iters:
+                if isinstance(it, (ast.Set, ast.SetComp)) or (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Name)
+                    and it.func.id in ("set", "frozenset")
+                ):
+                    yield self.finding(
+                        module,
+                        it,
+                        "iterating a set feeds undefined order into the model; "
+                        "iterate a list/dict or wrap in `sorted(...)`",
+                    )
+
+
+@register
+class EnvironInModel(Rule):
+    """D204: no environment-variable reads in model code."""
+
+    id = "D204"
+    name = "environ-in-model"
+    rationale = (
+        "`os.environ` is invisible ambient state: two runs with identical "
+        "configs can diverge because of the shell they started from.  "
+        "Configuration must flow through specs (and be captured in the "
+        "sweep's config hash); driver layers may read the environment."
+    )
+    scope = MODEL_PACKAGES
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Flag `os.environ` accesses and `os.getenv()` calls."""
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                target = canonical_call(node, aliases)
+                if target == "os.getenv":
+                    yield self.finding(
+                        module,
+                        node,
+                        "`os.getenv()` reads ambient state inside model code; "
+                        "pass configuration through the spec instead",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "environ":
+                base = dotted_name(node.value)
+                if base is not None and aliases.get(base, base) == "os":
+                    yield self.finding(
+                        module,
+                        node,
+                        "`os.environ` reads ambient state inside model code; "
+                        "pass configuration through the spec instead",
+                    )

@@ -27,9 +27,13 @@ documented symbol-by-symbol in ``docs/perf-model.md``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional
 
 from repro.perfmodel.calibration import CalibrationBank
+
+if TYPE_CHECKING:
+    from repro.elastic.monitor import EpochHealth
+    from repro.workflow.pipeline import PipelineSpec
 
 __all__ = ["PipelinePerfModel", "baseline_cores", "proportional_fill"]
 
@@ -43,7 +47,7 @@ MIN_PROGRESS_STEPS = 0.1
 MIN_BUSY_FRACTION = 0.02
 
 
-def baseline_cores(pipeline) -> Dict[str, float]:
+def baseline_cores(pipeline: "PipelineSpec") -> Dict[str, float]:
     """Represented cores each stage holds under the static plan.
 
     The stage's explicit ``granted_cores`` when given, else its resolved
@@ -130,7 +134,7 @@ class PipelinePerfModel:
 
     def __init__(
         self,
-        pipeline,
+        pipeline: "PipelineSpec",
         smoothing: float = 0.5,
         min_progress_steps: float = MIN_PROGRESS_STEPS,
     ):
@@ -192,7 +196,7 @@ class PipelinePerfModel:
         self.unit_bandwidth = CalibrationBank(bandwidth_priors, smoothing)
 
     # -- calibration ---------------------------------------------------------
-    def coupling_progress(self, health) -> Dict[str, float]:
+    def coupling_progress(self, health: "EpochHealth") -> Dict[str, float]:
         """Workflow steps each coupling moved during ``health``'s epoch."""
         progress: Dict[str, float] = {}
         for name, coupling in health.couplings.items():
@@ -202,7 +206,7 @@ class PipelinePerfModel:
 
     def observe(
         self,
-        health,
+        health: "EpochHealth",
         allocations: Mapping[str, float],
         shares: Mapping[str, float],
     ) -> None:

@@ -16,7 +16,7 @@ and keep "no-op controller" runs bit-identical to uncontrolled ones.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Generator, Mapping, Optional
 
 from repro.simcore.engine import Environment
 from repro.simcore.events import Process, Timeout
@@ -99,7 +99,7 @@ class PeriodicController:
         """
         return self._next_wakeup
 
-    def _run(self):
+    def _run(self) -> Generator[Timeout, Any, None]:
         while True:
             yield Timeout(self.env, self.interval)
             self.wakeups += 1

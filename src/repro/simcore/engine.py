@@ -4,10 +4,18 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from itertools import count
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.simcore.errors import SimulationError
-from repro.simcore.events import Event, NORMAL, PENDING, PooledTimeout, Process, Timeout
+from repro.simcore.events import (
+    Event,
+    NORMAL,
+    PENDING,
+    PooledTimeout,
+    Process,
+    ProcessGenerator,
+    Timeout,
+)
 
 __all__ = ["Environment", "EmptySchedule", "Infinity"]
 
@@ -98,7 +106,7 @@ class Environment:
         """Create a :class:`Timeout` that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
+    def process(self, generator: ProcessGenerator) -> Process:
         """Start a new process from ``generator`` and return its event."""
         return Process(self, generator)
 
@@ -247,7 +255,7 @@ class Environment:
         self._events_processed += 1
 
         if event._ok:
-            if event.__class__ is PooledTimeout:
+            if type(event) is PooledTimeout:
                 # Every waiter has been resumed (inside the callback loop
                 # above); the event object can serve the next sleep.
                 pool = self._timeout_pool

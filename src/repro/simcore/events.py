@@ -10,14 +10,22 @@ failed or the process was interrupted).
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from repro.simcore.errors import Interrupt, SimulationError, StopProcess
+
+if TYPE_CHECKING:
+    from repro.simcore.engine import Environment
+
+#: The generator type of a simulation process: yields events, receives their
+#: values back, and may return a result (surfaced as the process's value).
+ProcessGenerator = Generator["Event", Any, Any]
 
 __all__ = [
     "PENDING",
     "URGENT",
     "NORMAL",
+    "ProcessGenerator",
     "Event",
     "Timeout",
     "PooledTimeout",
@@ -55,7 +63,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
-    def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
+    def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
@@ -151,7 +159,7 @@ class Timeout(Event):
 
     __slots__ = ("_delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         super().__init__(env)
@@ -188,10 +196,11 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
+    def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self._ok = True
         self._value = None
+        assert self.callbacks is not None  # freshly created, never processed
         self.callbacks.append(process._resume)
         env.schedule(self, priority=URGENT)
 
@@ -211,6 +220,7 @@ class Interruption(Event):
         self._ok = False
         self._value = Interrupt(cause)
         self._defused = True
+        assert self.callbacks is not None  # freshly created, never processed
         self.callbacks.append(self._interrupt)
         self.env.schedule(self, priority=URGENT)
 
@@ -239,7 +249,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target")
 
-    def __init__(self, env: "Environment", generator: Generator):  # noqa: F821
+    def __init__(self, env: "Environment", generator: ProcessGenerator):
         if not hasattr(generator, "throw"):
             raise SimulationError(
                 f"{generator!r} is not a generator; did you forget to call the "
@@ -329,7 +339,7 @@ class ConditionEvent(Event):
 
     def __init__(
         self,
-        env: "Environment",  # noqa: F821
+        env: "Environment",
         evaluate: Callable[[List[Event], int], bool],
         events: Iterable[Event],
     ):
@@ -352,7 +362,7 @@ class ConditionEvent(Event):
             else:
                 ev.add_callback(self._check)
 
-    def _collect(self) -> dict:
+    def _collect(self) -> Dict[Event, Any]:
         # Only events that have actually been *processed* contribute a value:
         # a Timeout carries its value from construction time, but it has not
         # "happened" until the clock reaches it.
@@ -379,7 +389,7 @@ class AllOf(ConditionEvent):
 
     __slots__ = ()
 
-    def __init__(self, env, events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda evs, count: count >= len(evs), events)
 
 
@@ -388,5 +398,5 @@ class AnyOf(ConditionEvent):
 
     __slots__ = ()
 
-    def __init__(self, env, events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, lambda evs, count: count >= 1 or not evs, events)

@@ -36,12 +36,13 @@ class TallyMonitor:
         self._mean += delta / self.count
         self._m2 += delta * (value - self._mean)
         minimum = self.minimum
-        if minimum is None:
+        maximum = self.maximum
+        if minimum is None or maximum is None:
             self.minimum = self.maximum = value
         else:
             if value < minimum:
                 self.minimum = value
-            if value > self.maximum:
+            if value > maximum:
                 self.maximum = value
 
     @property
@@ -77,8 +78,11 @@ class TallyMonitor:
             merged._m2 += mon._m2 + delta * delta * n1 * n2 / total_n
             merged.count = total_n
             merged.total += mon.total
-            merged.minimum = min(merged.minimum, mon.minimum)  # type: ignore[arg-type]
-            merged.maximum = max(merged.maximum, mon.maximum)  # type: ignore[arg-type]
+            # Both sides have count > 0 here, so their extrema are set.
+            if merged.minimum is not None and mon.minimum is not None:
+                merged.minimum = min(merged.minimum, mon.minimum)
+            if merged.maximum is not None and mon.maximum is not None:
+                merged.maximum = max(merged.maximum, mon.maximum)
         return merged
 
     def __repr__(self) -> str:

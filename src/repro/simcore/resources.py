@@ -15,10 +15,14 @@ runtime models need:
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Type
 
 from repro.simcore.errors import SimulationError
 from repro.simcore.events import Event, PENDING
+
+if TYPE_CHECKING:
+    from repro.simcore.engine import Environment
 
 __all__ = [
     "Request",
@@ -65,7 +69,12 @@ class Request(Event):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         if self.triggered and self.usage_since is not None:
             self.resource.release(self)
 
@@ -96,7 +105,7 @@ class Release(Event):
 class Resource:
     """A resource with ``capacity`` identical slots and a FIFO wait queue."""
 
-    def __init__(self, env, capacity: int = 1):
+    def __init__(self, env: "Environment", capacity: int = 1):
         if capacity <= 0:
             raise SimulationError("capacity must be positive")
         self.env = env
@@ -223,7 +232,7 @@ def _never_match(_item: Any) -> bool:
 class Store:
     """A FIFO buffer of arbitrary items with optional bounded capacity."""
 
-    def __init__(self, env, capacity: float = float("inf")):
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
         if capacity <= 0:
             raise SimulationError("capacity must be positive")
         self.env = env
@@ -329,7 +338,7 @@ class Store:
 class FilterStore(Store):
     """A :class:`Store` whose getters may select items with a predicate."""
 
-    def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+    def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         return StoreGet(self, filter_fn)
 
 
@@ -360,7 +369,7 @@ class ContainerGet(Event):
 class Container:
     """A continuous quantity (e.g. bytes of buffer memory) with blocking put/get."""
 
-    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+    def __init__(self, env: "Environment", capacity: float = float("inf"), init: float = 0.0):
         if capacity <= 0:
             raise SimulationError("capacity must be positive")
         if not 0 <= init <= capacity:

@@ -8,10 +8,13 @@ variables Zipper's own work-stealing writer thread uses (Algorithm 1).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from repro.simcore.errors import SimulationError
 from repro.simcore.events import Event
+
+if TYPE_CHECKING:
+    from repro.simcore.engine import Environment
 
 __all__ = ["Mutex", "Semaphore", "SimBarrier", "ConditionVar", "OneShotSignal"]
 
@@ -24,7 +27,7 @@ class Mutex:
     opaque token (the acquire event) so misuse is detected.
     """
 
-    def __init__(self, env):
+    def __init__(self, env: "Environment"):
         self.env = env
         self._owner: Optional[Event] = None
         self._waiters: List[Event] = []
@@ -67,7 +70,7 @@ class Mutex:
 class Semaphore:
     """A counting semaphore with FIFO waiters."""
 
-    def __init__(self, env, value: int = 1):
+    def __init__(self, env: "Environment", value: int = 1):
         if value < 0:
             raise SimulationError("initial value must be non-negative")
         self.env = env
@@ -103,7 +106,7 @@ class SimBarrier:
     generation have arrived.
     """
 
-    def __init__(self, env, parties: int):
+    def __init__(self, env: "Environment", parties: int):
         if parties <= 0:
             raise SimulationError("parties must be positive")
         self.env = env
@@ -134,7 +137,7 @@ class ConditionVar:
     the paper does ("wait on a condition variable and release the lock").
     """
 
-    def __init__(self, env):
+    def __init__(self, env: "Environment"):
         self.env = env
         self._waiters: List[Event] = []
         self.notifications = 0
@@ -168,7 +171,7 @@ class OneShotSignal:
     telling the Zipper consumer runtime that no further blocks will arrive).
     """
 
-    def __init__(self, env):
+    def __init__(self, env: "Environment"):
         self.env = env
         self._set = False
         self._value: Any = None

@@ -3,9 +3,17 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
-__all__ = ["Transport", "TransportFault", "empty_generator"]
+if TYPE_CHECKING:
+    from repro.simcore.events import Event
+    from repro.workflow.context import CouplingContext
+
+#: The generator type of every transport hook: yields simulation events and
+#: may return a result to its ``yield from`` caller.
+TransportGenerator = Generator["Event", Any, Any]
+
+__all__ = ["Transport", "TransportFault", "TransportGenerator", "empty_generator"]
 
 
 class TransportFault(RuntimeError):
@@ -22,7 +30,7 @@ class TransportFault(RuntimeError):
         self.reason = reason
 
 
-def empty_generator() -> Generator:
+def empty_generator() -> TransportGenerator:
     """A generator that finishes immediately (for no-op transport hooks)."""
     return
     yield  # pragma: no cover - makes this function a generator
@@ -63,19 +71,24 @@ class Transport(ABC):
     #: Whether dedicated staging resources (servers/link ranks) are required.
     uses_staging_ranks: bool = False
 
-    def setup(self, ctx) -> None:
+    def setup(self, ctx: "CouplingContext") -> None:
         """Create per-run state and spawn any server processes."""
 
     @abstractmethod
-    def producer_put(self, ctx, rank: int, step: int, nbytes: int) -> Generator:
+    def producer_put(self, ctx: "CouplingContext", rank: int, step: int, nbytes: int) -> TransportGenerator:
         """Ship one step's output (``nbytes``) from simulation rank ``rank``."""
 
-    def producer_finalize(self, ctx, rank: int) -> Generator:
+    def producer_finalize(self, ctx: "CouplingContext", rank: int) -> TransportGenerator:
         """Flush buffered data and signal end-of-stream for ``rank``."""
         return empty_generator()
 
     @abstractmethod
-    def consumer_run(self, ctx, arank: int, analyze: Callable[[int, int], Generator]) -> Generator:
+    def consumer_run(
+        self,
+        ctx: "CouplingContext",
+        arank: int,
+        analyze: Callable[[int, int], TransportGenerator],
+    ) -> TransportGenerator:
         """Run the whole consumer loop of analysis rank ``arank``.
 
         ``analyze(nbytes, step)`` is a sub-generator provided by the runner
@@ -84,10 +97,10 @@ class Transport(ABC):
         for the coarse-grain baselines, per fine-grain block for Zipper).
         """
 
-    def teardown(self, ctx) -> None:
+    def teardown(self, ctx: "CouplingContext") -> None:
         """Release any resources created in :meth:`setup`."""
 
-    def consumer_deliveries_per_step(self, ctx, arank: int) -> int:
+    def consumer_deliveries_per_step(self, ctx: "CouplingContext", arank: int) -> int:
         """How many times :meth:`consumer_run` calls ``analyze`` per step.
 
         Forwarding stages of a multi-stage pipeline use this to detect when a
@@ -100,13 +113,13 @@ class Transport(ABC):
     # -- helpers shared by implementations ---------------------------------
     def transfer_sim_to_analysis(
         self,
-        ctx,
+        ctx: "CouplingContext",
         sim_rank: int,
         arank: int,
         nbytes: int,
         flow: str = "msg",
         congestion_weight: float = 1.0,
-    ) -> Generator:
+    ) -> TransportGenerator:
         """Move ``nbytes`` from a simulation rank's node to an analysis rank's node.
 
         Honours the coupling's bandwidth lease: the transfer drains at

@@ -16,7 +16,7 @@ paper measured between ADIOS/DataSpaces and native DataSpaces.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator
+from typing import Callable, Generator
 
 from repro.transports.base import Transport
 from repro.transports.registry import register_transport

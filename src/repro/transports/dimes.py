@@ -15,7 +15,7 @@ the uniform interface (single slot + per-operation overhead), reproducing the
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator
+from typing import Callable, Generator
 
 from repro.transports.base import Transport
 from repro.transports.registry import register_transport

@@ -18,7 +18,7 @@ simulator at the paper's scales:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, Optional
 
 from repro.simcore import ConditionVar, OneShotSignal, Store
 from repro.transports.base import Transport

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.apps.costs import WorkloadModel
 from repro.cluster.spec import ClusterSpec
+
+if TYPE_CHECKING:
+    from repro.workflow.pipeline import PipelineSpec
 
 __all__ = ["WorkflowConfig", "MiB"]
 
@@ -130,7 +133,7 @@ class WorkflowConfig:
         """A copy of the config with ``changes`` applied."""
         return replace(self, **changes)
 
-    def to_pipeline(self):
+    def to_pipeline(self) -> "PipelineSpec":
         """Lower to the equivalent two-stage :class:`~repro.workflow.pipeline.PipelineSpec`."""
         from repro.workflow.pipeline import lower_config
 

@@ -34,13 +34,16 @@ Execution semantics (see :class:`~repro.workflow.runner.PipelineRunner`):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.apps.costs import WorkloadModel
 from repro.cluster.spec import ClusterSpec
 from repro.elastic.policy import ElasticPolicy
 from repro.transports.null import NullTransport
 from repro.transports.registry import transport_class
+
+if TYPE_CHECKING:
+    from repro.workflow.config import WorkflowConfig
 
 __all__ = ["StageSpec", "CouplingSpec", "PipelineSpec", "lower_config", "MiB"]
 
@@ -481,7 +484,7 @@ class PipelineSpec:
         return replace(self, **changes)
 
 
-def lower_config(config) -> PipelineSpec:
+def lower_config(config: "WorkflowConfig") -> PipelineSpec:
     """Lower a legacy two-application :class:`WorkflowConfig` to a pipeline.
 
     The result is the exact two-stage, one-coupling pipeline the old runner

@@ -40,7 +40,7 @@ from typing import Dict, Generator, Iterable, List, Optional
 from repro.cluster.machine import Cluster
 from repro.cluster.spec import ClusterSpec
 from repro.elastic.controller import ElasticControllerBase
-from repro.simcore import AllOf, Container, OneShotSignal, Store
+from repro.simcore import AllOf, Container, Environment, OneShotSignal, Store
 from repro.trace import Tracer
 from repro.transports.base import Transport, TransportFault
 from repro.transports.registry import create_transport
@@ -99,7 +99,7 @@ class _AssistPool:
 
     __slots__ = ("queue", "active", "spawned_total", "busy_time")
 
-    def __init__(self, env):
+    def __init__(self, env: Environment):
         self.queue = Store(env)
         #: Assist ranks currently serving (decremented at retire time, so
         #: offloads issued after a retire are sized for the smaller pool).

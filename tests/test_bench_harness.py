@@ -10,7 +10,9 @@ from repro.bench.harness import (
     SUITES,
     BenchResult,
     bench_path,
+    best_result,
     compare,
+    load_history,
     load_result,
     run_suite,
     suite_cases,
@@ -97,6 +99,44 @@ class TestPersistence:
         path.write_text(json.dumps(payload))
         assert load_result(path) is not None
 
+    def test_history_appends_instead_of_overwriting(self, tmp_path):
+        path = bench_path("smoke", tmp_path)
+        write_result(make_result(events_per_sec=50_000.0), path)
+        write_result(make_result(events_per_sec=80_000.0), path)
+        write_result(make_result(events_per_sec=60_000.0), path)
+        history = load_history(path)
+        assert [e.events_per_sec for e in history] == [50_000.0, 80_000.0, 60_000.0]
+        # load_result is the latest entry; the speedup chain runs entry to entry.
+        latest = load_result(path)
+        assert latest.events_per_sec == 60_000.0
+        assert latest.previous_events_per_sec == 80_000.0
+        assert latest.speedup_vs_previous == pytest.approx(0.75)
+
+    def test_legacy_one_slot_file_loads_as_single_entry_history(self, tmp_path):
+        path = bench_path("smoke", tmp_path)
+        path.write_text(json.dumps(make_result(events_per_sec=42.0).as_dict()))
+        history = load_history(path)
+        assert [e.events_per_sec for e in history] == [42.0]
+        # Appending migrates the file to the history schema in place.
+        write_result(make_result(events_per_sec=84.0), path)
+        assert [e.events_per_sec for e in load_history(path)] == [42.0, 84.0]
+        assert json.loads(path.read_text())["suite"] == "smoke"
+
+    def test_history_is_trimmed_to_the_limit(self, tmp_path):
+        path = bench_path("smoke", tmp_path)
+        for i in range(5):
+            write_result(make_result(events_per_sec=float(i + 1)), path, limit=3)
+        assert [e.events_per_sec for e in load_history(path)] == [3.0, 4.0, 5.0]
+
+    def test_best_result_picks_the_fastest_entry(self):
+        assert best_result([]) is None
+        entries = [
+            make_result(events_per_sec=50_000.0),
+            make_result(events_per_sec=90_000.0, timestamp="2026-01-02T00:00:00"),
+            make_result(events_per_sec=70_000.0),
+        ]
+        assert best_result(entries).timestamp == "2026-01-02T00:00:00"
+
 
 class TestCompare:
     def test_no_baseline_is_neutral(self):
@@ -130,6 +170,18 @@ class TestCli:
         )
         assert code == 1
         assert "regressed" in capsys.readouterr().out
+
+    def test_check_gates_against_best_not_latest(self, tmp_path, capsys):
+        # A fast early entry followed by a slow latest one: a latest-based
+        # check would pass, but the gate must hold the line at the best.
+        path = bench_path("smoke", tmp_path)
+        write_result(make_result(events_per_sec=1e12), path)
+        write_result(make_result(events_per_sec=1.0), path)
+        code = bench_main(
+            ["--suite", "smoke", "--repeats", "1", "--bench-dir", str(tmp_path), "--check"]
+        )
+        assert code == 1
+        assert "best recorded" in capsys.readouterr().out
 
     def test_check_passes_against_a_slow_baseline(self, tmp_path):
         write_result(make_result(events_per_sec=1.0), bench_path("smoke", tmp_path))

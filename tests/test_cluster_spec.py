@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import ClusterSpec, FileSystemSpec, NetworkSpec, NodeSpec
+from repro.cluster import FileSystemSpec, NetworkSpec, NodeSpec
 from repro.cluster.presets import bridges, laptop, stampede2
-from repro.cluster.spec import GiB, MiB
+from repro.cluster.spec import GiB
 
 
 class TestNodeSpec:

@@ -22,11 +22,12 @@ REQUIRED_DOCS = (
     "docs/elastic.md",
     "docs/perf-model.md",
     "docs/performance.md",
+    "docs/static-analysis.md",
 )
 
 #: Packages whose public API must be fully docstringed (mirrors the ruff
 #: ``D`` lint scope of the CI docs job).
-DOCSTRINGED_PACKAGES = ("elastic", "workflow", "sweep", "perfmodel")
+DOCSTRINGED_PACKAGES = ("elastic", "workflow", "sweep", "perfmodel", "lint")
 
 
 def test_required_docs_exist():
@@ -55,7 +56,7 @@ def test_package_docstring_coverage(package):
     import ast
 
     missing = []
-    for path in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):
+    for path in sorted((REPO_ROOT / "src" / "repro" / package).rglob("*.py")):
         tree = ast.parse(path.read_text(encoding="utf-8"))
         if not ast.get_docstring(tree):
             missing.append(f"{path.name}: module")

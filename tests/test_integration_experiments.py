@@ -32,12 +32,12 @@ class TestBenchDescriptors:
     def test_figure12_covers_both_block_sizes_and_all_complexities(self):
         labels = [label for label, _ in figure12_configs(data_per_rank=16 * MiB)]
         assert len(labels) == 6
-        assert any("8MB" in l for l in labels) and any("O(n^1.5)" in l for l in labels)
+        assert any("8MB" in lbl for lbl in labels) and any("O(n^1.5)" in lbl for lbl in labels)
 
     def test_figure14_pairs_mpi_only_with_concurrent(self):
         labels = [label for label, _ in figure14_configs(data_per_rank=16 * MiB, core_counts=(84,))]
-        assert sum("mpi-only" in l for l in labels) == 3
-        assert sum("concurrent" in l for l in labels) == 3
+        assert sum("mpi-only" in lbl for lbl in labels) == 3
+        assert sum("concurrent" in lbl for lbl in labels) == 3
 
     def test_trace_config_enables_tracing(self):
         cfg = trace_config("decaf", "cfd", 204, steps=4)

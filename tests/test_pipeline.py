@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.costs import MiB, cfd_workload, lammps_workload, synthetic_workload
-from repro.cluster.presets import bridges
 from repro.sweep.runner import SweepRunner
 from repro.sweep.spec import ParamGrid
 from repro.workflow import (

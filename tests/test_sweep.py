@@ -127,7 +127,7 @@ class TestLegacyGridParity:
     """The declarative grids must reproduce the hand-rolled loops label-for-label."""
 
     def test_figure2_labels(self):
-        labels = [l for l, _ in figure2_configs(steps=3)]
+        labels = [lbl for lbl, _ in figure2_configs(steps=3)]
         assert labels == list(FIGURE2_TRANSPORTS) + ["zipper", "none"]
 
     def test_figure12_labels_and_fields(self):
@@ -140,7 +140,7 @@ class TestLegacyGridParity:
             "O(n^1.5)/8MB",
         ]
         configs = figure12_configs(data_per_rank=16 * MiB)
-        assert [l for l, _ in configs] == expected
+        assert [lbl for lbl, _ in configs] == expected
         assert all(not cfg.preserve for _, cfg in configs)
         assert [cfg.block_bytes for _, cfg in configs[:3]] == [1 * MiB] * 3
         assert [cfg.block_bytes for _, cfg in configs[3:]] == [8 * MiB] * 3
@@ -156,7 +156,7 @@ class TestLegacyGridParity:
             for cores in (84, 168)
             for mode in ("mpi-only", "concurrent")
         ]
-        assert [l for l, _ in configs] == expected
+        assert [lbl for lbl, _ in configs] == expected
         by_label = dict(configs)
         assert by_label["O(n)/84/concurrent"].concurrent_transfer
         assert not by_label["O(n)/84/mpi-only"].concurrent_transfer
@@ -167,7 +167,7 @@ class TestLegacyGridParity:
             for cores in SCALABILITY_CORE_COUNTS
             for transport in ("mpiio", "flexpath", "decaf", "zipper", "none")
         ]
-        assert [l for l, _ in figure16_configs(steps=3)] == expected
+        assert [lbl for lbl, _ in figure16_configs(steps=3)] == expected
 
 
 class TestConfigHash:
@@ -219,7 +219,7 @@ class TestSweepRunner:
         spec = _downsized_figure16()
         _assert_same_results(
             SweepRunner(workers=0, trace=False).run_labelled(spec),
-            {l: r for l, r in run_all(spec.configs()).items()},
+            {lbl: r for lbl, r in run_all(spec.configs()).items()},
         )
 
     def test_crash_is_isolated_to_its_record(self):

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.costs import MiB, cfd_workload, synthetic_workload
-from repro.cluster.presets import bridges, stampede2
 from repro.core import PerformanceModel, StageTimes
 from repro.workflow import (
     WorkflowConfig,
@@ -13,7 +12,6 @@ from repro.workflow import (
     run_workflow,
     simulation_only_time,
 )
-from repro.workflow.context import WorkflowContext
 from repro.workflow.result import StageBreakdown
 
 
