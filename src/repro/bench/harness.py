@@ -98,6 +98,23 @@ def _smoke_suite() -> List[Tuple[str, object]]:
     ]
 
 
+@_suite("sanitize", repeats=1)
+def _sanitize_suite() -> List[Tuple[str, object]]:
+    """The smoke cases under the runtime sanitizer (overhead tracking).
+
+    Same workload as ``smoke`` with ``repro.sanitize`` armed, so the ratio
+    of the two suites' events/sec is the sanitizer's overhead.  Its
+    ``events_processed`` must equal the smoke suite's — the sanitizer is a
+    pure detector.
+    """
+    from repro.bench.experiments import pipeline_chain, pipeline_fanout
+
+    return [
+        ("chain/384", pipeline_chain(total_cores=384, steps=6).replace(sanitize=True)),
+        ("fanout/384", pipeline_fanout(total_cores=384, steps=6).replace(sanitize=True)),
+    ]
+
+
 @dataclass
 class BenchResult:
     """One measured run of a bench suite (the ``BENCH_<suite>.json`` schema)."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, List, Optional, Sequence, Union
 
+from repro import sanitize
 from repro.simcore import Container, Environment, RandomStreams, Resource, Timeout
 from repro.cluster.spec import NodeSpec
 
@@ -231,6 +232,10 @@ class ComputeNode:
         """
         if steps <= 0:
             raise ValueError("steps must be positive")
+        if self.env.sanitize:
+            # The chunk order is folded into the absolute end time below;
+            # a set-valued ``seconds`` would schedule in hash-salted order.
+            sanitize.check_ordered(seconds, "compute_batch(seconds=...)")
         chunks = (
             (float(seconds),)
             if isinstance(seconds, (int, float))

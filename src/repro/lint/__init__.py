@@ -25,6 +25,7 @@ from repro.lint.framework import (
     LineFix,
     LintReport,
     Module,
+    ProjectRule,
     Rule,
     all_rules,
     apply_fixes,
@@ -42,6 +43,7 @@ __all__ = [
     "LineFix",
     "LintReport",
     "Module",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "apply_fixes",

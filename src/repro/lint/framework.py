@@ -26,12 +26,28 @@ import io
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import ClassVar, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    ClassVar,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:
+    from repro.lint.flow.project import Project
 
 __all__ = [
     "Finding",
     "LineFix",
     "Module",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "apply_fixes",
@@ -103,7 +119,7 @@ class Finding:
 class Module:
     """One source file under analysis: AST, lines and suppression comments."""
 
-    def __init__(self, path: str, source: str, module_name: str):
+    def __init__(self, path: str, source: str, module_name: str) -> None:
         self.path = path
         self.source = source
         self.module_name = module_name
@@ -199,10 +215,31 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class of whole-program rules (the interprocedural ``F5xx`` set).
+
+    A project rule sees every in-scope module at once through a
+    ``repro.lint.flow.project.Project`` and yields findings anchored in any
+    of them; :func:`lint_paths` builds one shared project per run (and
+    :func:`lint_module` a single-module project, so source fixtures exercise
+    these rules too).  Suppression comments apply exactly as for per-module
+    rules: the finding is matched against the ``allow`` set of the module it
+    lands in.
+    """
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Project rules never run per-module."""
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Yield every violation over the whole ``project``."""
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
-def register(cls: type) -> type:
+def register(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the global registry (keyed by id)."""
     rule = cls()
     if not rule.id or not rule.name:
@@ -215,6 +252,8 @@ def register(cls: type) -> type:
 
 def all_rules() -> List[Rule]:
     """Every registered rule, sorted by id (imports the rule modules)."""
+    import repro.lint.flow.crediting  # noqa: F401  - registration side effect
+    import repro.lint.flow.escape  # noqa: F401  - registration side effect
     import repro.lint.rules  # noqa: F401  - registration side effect
 
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
@@ -241,17 +280,51 @@ def select_rules(
     return rules
 
 
+def _run_project_rules(
+    rules: Sequence["ProjectRule"], modules: Sequence[Module]
+) -> List[Finding]:
+    """Run whole-program rules over ``modules``, honouring suppressions.
+
+    The flow package is imported lazily: it depends on this module, and a
+    plain per-module lint should not pay for building a project.
+    """
+    from repro.lint.flow.project import Project
+
+    scoped = [m for m in modules if any(r.applies_to(m) for r in rules)]
+    if not scoped:
+        return []
+    project = Project(scoped)
+    by_path = {m.path: m for m in scoped}
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(project):
+            module = by_path.get(finding.path)
+            if module is None or not rule.applies_to(module):
+                continue
+            if not module.suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
 def lint_module(module: Module, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
-    """Run ``rules`` (default: all) over one module, honouring suppressions."""
+    """Run ``rules`` (default: all) over one module, honouring suppressions.
+
+    Project-wide rules run against a single-module project, so source
+    fixtures (and single-file CLI invocations) still exercise them.
+    """
     if module.skip_file:
         return []
+    active = list(rules) if rules is not None else all_rules()
     findings: List[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        if not rule.applies_to(module):
+    for rule in active:
+        if isinstance(rule, ProjectRule) or not rule.applies_to(module):
             continue
         for finding in rule.check(module):
             if not module.suppressed(finding):
                 findings.append(finding)
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+    if project_rules:
+        findings.extend(_run_project_rules(project_rules, [module]))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -301,33 +374,43 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
             yield file
 
 
-def apply_fixes(source: str, findings: Iterable[Finding]) -> Tuple[str, int]:
+def apply_fixes(source: str, findings: Iterable[Finding]) -> Tuple[str, List[Finding]]:
     """Apply the :class:`LineFix` of every fixable finding to ``source``.
 
-    Fixes are applied bottom-up so earlier line numbers stay valid; two fixes
-    touching the same line apply the first and drop the rest (the next lint
-    run re-reports whatever remains).  Returns ``(new_source, applied)``.
+    Which fix wins a line is decided *in report order* — ``(path, line, col,
+    rule)``, the order findings are printed — and only then are the survivors
+    applied bottom-up so earlier line numbers stay valid.  That makes the
+    returned list of applied findings (also in report order) match what a
+    reader of the report expects, instead of depending on the application
+    sweep's direction.  A line with two competing fixes applies the first
+    reported one and drops the rest; the next lint run re-reports whatever
+    remains.  Returns ``(new_source, applied_findings)``.
     """
-    fixes = sorted(
-        (f.fix for f in findings if f.fix is not None),
-        key=lambda fix: fix.line,
-        reverse=True,
+    ordered = sorted(
+        (f for f in findings if f.fix is not None),
+        key=lambda f: (f.path, f.line, f.col, f.rule),
     )
-    if not fixes:
-        return source, 0
-    trailing_newline = source.endswith("\n")
-    lines = source.splitlines()
-    applied = 0
+    applied: List[Finding] = []
     seen_lines: Set[int] = set()
-    for fix in fixes:
-        if fix.line in seen_lines or not (1 <= fix.line <= len(lines)):
+    line_count = len(source.splitlines())
+    for finding in ordered:
+        fix = finding.fix
+        assert fix is not None
+        if fix.line in seen_lines or not (1 <= fix.line <= line_count):
             continue
         seen_lines.add(fix.line)
+        applied.append(finding)
+    if not applied:
+        return source, []
+    trailing_newline = source.endswith("\n")
+    lines = source.splitlines()
+    for finding in sorted(applied, key=lambda f: f.fix.line, reverse=True):  # type: ignore[union-attr]
+        fix = finding.fix
+        assert fix is not None
         if fix.insert_after:
             lines[fix.line : fix.line] = list(fix.new_lines)
         else:
             lines[fix.line - 1 : fix.line] = list(fix.new_lines)
-        applied += 1
     new_source = "\n".join(lines) + ("\n" if trailing_newline else "")
     return new_source, applied
 
@@ -339,6 +422,9 @@ class LintReport:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     fixes_applied: int = 0
+    #: The findings whose fixes were written back, in report order — what a
+    #: ``--fix`` run shows so the printed list matches the edits made.
+    applied: List[Finding] = field(default_factory=list)
     #: Files that failed to parse, as ``(path, error)`` pairs.
     errors: List[Tuple[str, str]] = field(default_factory=list)
 
@@ -350,11 +436,17 @@ def lint_paths(
 ) -> LintReport:
     """Lint every Python file under ``paths``.
 
-    With ``fix=True``, mechanical fixes are written back and the file is
-    re-linted so the report only contains what remains for a human.
+    Per-module rules run file by file; whole-program rules run once over a
+    project built from every in-scope module.  With ``fix=True``, mechanical
+    fixes are written back and the file is re-linted so the report only
+    contains what remains for a human; the applied fixes are listed in
+    report order (see :func:`apply_fixes`).
     """
     report = LintReport()
     active = list(rules) if rules is not None else all_rules()
+    module_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+    modules: List[Module] = []
     for file in iter_python_files(paths):
         source = file.read_text(encoding="utf-8")
         try:
@@ -362,15 +454,19 @@ def lint_paths(
         except SyntaxError as exc:
             report.errors.append((str(file), f"syntax error: {exc}"))
             continue
-        findings = lint_module(module, active)
+        findings = lint_module(module, module_rules)
         if fix and any(f.fix is not None for f in findings):
             new_source, applied = apply_fixes(source, findings)
             if applied:
                 file.write_text(new_source, encoding="utf-8")
-                report.fixes_applied += applied
+                report.fixes_applied += len(applied)
+                report.applied.extend(applied)
                 module = Module(str(file), new_source, module.module_name)
-                findings = lint_module(module, active)
+                findings = lint_module(module, module_rules)
         report.findings.extend(findings)
         report.files_checked += 1
+        modules.append(module)
+    if project_rules:
+        report.findings.extend(_run_project_rules(project_rules, modules))
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report

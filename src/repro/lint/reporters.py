@@ -11,8 +11,15 @@ __all__ = ["render_text", "render_json"]
 
 
 def render_text(report: LintReport) -> str:
-    """One line per finding plus a summary, byte-stable for golden tests."""
+    """One line per finding plus a summary, byte-stable for golden tests.
+
+    Applied fixes are listed in the same ``(path, line, col, rule)`` order as
+    findings, so the printed edit list reads like the report that produced
+    it.
+    """
     lines: List[str] = [finding.render() for finding in report.findings]
+    for finding in report.applied:
+        lines.append(f"fixed: {finding.render()}")
     for path, error in report.errors:
         lines.append(f"{path}: {error}")
     noun = "finding" if len(report.findings) == 1 else "findings"
@@ -28,6 +35,7 @@ def render_json(report: LintReport) -> str:
     payload = {
         "files_checked": report.files_checked,
         "fixes_applied": report.fixes_applied,
+        "applied": [finding.as_dict() for finding in report.applied],
         "findings": [finding.as_dict() for finding in report.findings],
         "errors": [{"path": path, "error": error} for path, error in report.errors],
     }

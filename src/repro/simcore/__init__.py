@@ -51,7 +51,7 @@ from repro.simcore.events import (
     AnyOf,
     ConditionEvent,
 )
-from repro.simcore.engine import Environment, EmptySchedule
+from repro.simcore.engine import Environment, EmptySchedule, POOLED_EVENT_CLASSES
 from repro.simcore.resources import (
     Resource,
     PriorityResource,
@@ -99,4 +99,5 @@ __all__ = [
     "PeriodicController",
     "CounterDeltas",
     "PIDSmoother",
+    "POOLED_EVENT_CLASSES",
 ]

@@ -6,6 +6,7 @@ from heapq import heappop, heappush
 from itertools import count
 from typing import Any, List, Optional, Tuple
 
+from repro import sanitize as _sanitize
 from repro.simcore.errors import SimulationError
 from repro.simcore.events import (
     Event,
@@ -16,8 +17,9 @@ from repro.simcore.events import (
     ProcessGenerator,
     Timeout,
 )
+from repro.simcore.resources import Release, StoreGet, StorePut
 
-__all__ = ["Environment", "EmptySchedule", "Infinity"]
+__all__ = ["Environment", "EmptySchedule", "Infinity", "POOLED_EVENT_CLASSES"]
 
 #: A time value larger than any event time the models use.
 Infinity = float("inf")
@@ -26,6 +28,30 @@ Infinity = float("inf")
 #: enough for every rank of a large pipeline to have one sleep in flight;
 #: beyond it, extra events are simply left to the garbage collector.
 _TIMEOUT_POOL_LIMIT = 512
+
+#: Upper bound on each opt-in event free list (see ``pool_events``).
+_EVENT_POOL_LIMIT = 512
+
+#: Event classes the engine recycles.  ``PooledTimeout`` is always pooled
+#: (its contract is opt-in at the call site: only ``Environment.sleep`` /
+#: ``sleep_until`` hand one out); the other three are pooled only under
+#: ``Environment(pool_events=True)``, which the pipeline runner enables on
+#: the strength of the F501 escape-analysis certificate (``python -m
+#: repro.lint --flow-report``).  The lint meta-tests pin this tuple to the
+#: set of classes the analysis certifies.
+POOLED_EVENT_CLASSES: Tuple[str, ...] = (
+    "PooledTimeout",
+    "StorePut",
+    "StoreGet",
+    "Release",
+)
+
+#: Sentinel parked in a recycled event's ``_value`` slot while it sits on a
+#: free list.  Guards against double-recycling: an escaping holder that
+#: yields an already-recycled event again is skipped instead of inserting
+#: the same object into the pool twice (the sanitizer turns that same
+#: misuse into a hard trap).
+_RECYCLED = object()
 
 
 class EmptySchedule(Exception):
@@ -40,6 +66,23 @@ class Environment:
     initial_time:
         Starting value of the simulation clock (seconds by convention across
         this code base).
+    pool_events:
+        Recycle :class:`~repro.simcore.resources.StorePut` /
+        :class:`~repro.simcore.resources.StoreGet` /
+        :class:`~repro.simcore.resources.Release` events through per-class
+        free lists, exactly like the always-on :class:`PooledTimeout` pool.
+        Off by default because the *public* event semantics allow holding a
+        reference past processing; the pipeline runner turns it on
+        (``PipelineSpec.pool_events``) under the F501 escape-analysis
+        certificate that no model code does.  Bit-identical either way —
+        recycling changes which Python object carries an event, never the
+        event order or ``events_processed``.
+    sanitize:
+        Run with the :mod:`repro.sanitize` determinism traps armed:
+        clock/global-RNG guards during event execution, poisoned (never
+        reused) recyclable events, crediting validation, and
+        order-sensitivity checks.  ``None`` (the default) defers to the
+        ``REPRO_SANITIZE`` environment variable.
 
     Notes
     -----
@@ -56,15 +99,35 @@ class Environment:
         "_events_processed",
         "_timeout_pool",
         "_solo_callback",
+        "_pool_events",
+        "_sanitize",
+        "_in_event",
+        "_put_pool",
+        "_get_pool",
+        "_release_pool",
     )
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        *,
+        pool_events: bool = False,
+        sanitize: Optional[bool] = None,
+    ):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
         self._events_processed = 0
         self._timeout_pool: List[PooledTimeout] = []
+        self._pool_events = bool(pool_events)
+        self._sanitize = _sanitize.default_enabled() if sanitize is None else bool(sanitize)
+        self._in_event = False
+        self._put_pool: List[StorePut] = []
+        self._get_pool: List[StoreGet] = []
+        self._release_pool: List[Release] = []
+        if self._sanitize:
+            _sanitize.install_guards()
         # True while step() is executing the callback of an event that had
         # exactly one.  In that window, a freshly created event that (a) is
         # already triggered and (b) faces an empty same-time horizon (no
@@ -90,6 +153,16 @@ class Environment:
     def events_processed(self) -> int:
         """Total number of events processed so far (useful for model stats)."""
         return self._events_processed
+
+    @property
+    def pool_events(self) -> bool:
+        """Whether Store/Release events are recycled through free lists."""
+        return self._pool_events
+
+    @property
+    def sanitize(self) -> bool:
+        """Whether the runtime determinism sanitizer is armed (see ``repro.sanitize``)."""
+        return self._sanitize
 
     def __repr__(self) -> str:
         return (
@@ -170,7 +243,24 @@ class Environment:
         fast path credits exactly the events the equivalent slow path would
         have consumed, so the counter stays a *model* property — bit-stable
         for fixed seeds — rather than an engine implementation detail.
+
+        Under sanitize the count is validated: it must be a positive
+        integer, credited while an event is executing (a fast path only
+        ever elides queue trips from inside one) — anything else corrupts
+        the machine-independent count and traps immediately instead of
+        surfacing as a bit-identity diff three layers up.
         """
+        if self._sanitize:
+            if count.__class__ is not int or count <= 0:
+                raise _sanitize.SanitizerTrap(
+                    f"sanitizer: credit_events({count!r}) — elided-event "
+                    "credits must be positive ints (docs/performance.md)"
+                )
+            if not self._in_event:
+                raise _sanitize.SanitizerTrap(
+                    "sanitizer: credit_events() outside event execution — "
+                    "fast paths elide queue trips only from within step()"
+                )
         self._events_processed += count
 
     def trigger_inplace(self, event: Event, value: Any = None) -> None:
@@ -232,6 +322,8 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to its time)."""
+        if self._sanitize:
+            return self._sanitized_step()
         queue = self._queue
         if not queue:
             raise EmptySchedule()
@@ -255,17 +347,131 @@ class Environment:
         self._events_processed += 1
 
         if event._ok:
-            if type(event) is PooledTimeout:
+            cls = type(event)
+            if cls is PooledTimeout:
                 # Every waiter has been resumed (inside the callback loop
                 # above); the event object can serve the next sleep.
                 pool = self._timeout_pool
                 if len(pool) < _TIMEOUT_POOL_LIMIT:
                     event._value = None
                     pool.append(event)
+            elif self._pool_events:
+                if cls is StorePut:
+                    pool = self._put_pool
+                    if len(pool) < _EVENT_POOL_LIMIT:
+                        event._value = _RECYCLED
+                        event.item = None
+                        pool.append(event)
+                elif cls is StoreGet:
+                    pool = self._get_pool
+                    if len(pool) < _EVENT_POOL_LIMIT:
+                        event._value = _RECYCLED
+                        event.filter_fn = None
+                        pool.append(event)
         elif not event._defused:
             # Nobody waited on a failed event: surface the error to the caller
             # rather than silently dropping it.
             raise event._value
+
+    def _sanitized_step(self) -> None:
+        """The :meth:`step` body with the :mod:`repro.sanitize` traps armed.
+
+        A separate implementation so the unsanitized hot path pays exactly
+        one extra attribute test.  Differences: the clock/RNG guards are
+        active while callbacks run (``try/finally`` so a trap cannot leave
+        them armed), crediting is validated (``_in_event``), and recyclable
+        events are *poisoned* instead of pooled — the free lists stay empty
+        and any use-after-recycle trips a :class:`~repro.sanitize.SanitizerTrap`.
+        """
+        queue = self._queue
+        if not queue:
+            raise EmptySchedule()
+        when, _prio, _eid, event = heappop(queue)
+
+        self._now = when
+        callbacks = event.callbacks
+        if callbacks is None:
+            raise SimulationError(f"{event!r} was scheduled twice")
+        event.callbacks = None
+        _sanitize.enter_step()
+        self._in_event = True
+        try:
+            if callbacks:
+                if len(callbacks) == 1:
+                    self._solo_callback = True
+                    try:
+                        callbacks[0](event)
+                    finally:
+                        self._solo_callback = False
+                else:
+                    for callback in callbacks:
+                        callback(event)
+        finally:
+            self._in_event = False
+            _sanitize.exit_step()
+        self._events_processed += 1
+
+        if event._ok:
+            cls = type(event)
+            if cls is PooledTimeout or (
+                self._pool_events and (cls is StorePut or cls is StoreGet)
+            ):
+                _sanitize.poison_event(event)
+        elif not event._defused:
+            raise event._value
+
+    def _recycle_consumed(self, event: Event) -> None:
+        """Recycle an in-place-completed event its creator just consumed.
+
+        Called by :meth:`Process._resume` (only when ``pool_events`` is on)
+        for events that never took a queue trip: completed in place by
+        ``trigger_inplace``/``complete`` and consumed synchronously by the
+        yielding process.  At that point the creating process has read the
+        value and, for the F501-certified classes, no other reference
+        exists.  The ``_RECYCLED`` sentinel makes a double consume (an
+        escaping holder yielding the event again) a no-op here instead of a
+        pool corruption; under sanitize the event is poisoned so the same
+        misuse traps.
+        """
+        cls = type(event)
+        if cls is StorePut:
+            if event._value is _RECYCLED:
+                return
+            if self._sanitize:
+                _sanitize.poison_event(event)
+                return
+            pool = self._put_pool
+            if len(pool) < _EVENT_POOL_LIMIT:
+                event._value = _RECYCLED
+                event.item = None
+                pool.append(event)
+        elif cls is StoreGet:
+            if event._value is _RECYCLED:
+                return
+            if self._sanitize:
+                _sanitize.poison_event(event)
+                return
+            pool = self._get_pool
+            if len(pool) < _EVENT_POOL_LIMIT:
+                event._value = _RECYCLED
+                event.filter_fn = None
+                pool.append(event)
+
+    def _recycle_release(self, release: Release) -> None:
+        """Return a completed :class:`Release` to its free list immediately.
+
+        A release's observable state after ``Resource.release`` returns is a
+        constant (processed, ok, value ``None``) and the F501 certificate
+        shows no call site stores one, so the object recycles at its
+        creation site rather than waiting for a consumption hook.  Under
+        sanitize nothing is pooled (allocations stay fresh), keeping
+        legitimate ``yield resource.release(...)`` idioms trap-free.
+        """
+        if self._sanitize:
+            return
+        pool = self._release_pool
+        if len(pool) < _EVENT_POOL_LIMIT:
+            pool.append(release)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.

@@ -12,6 +12,7 @@ from __future__ import annotations
 from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Iterable, List, Optional
 
+from repro import sanitize as _sanitize
 from repro.simcore.errors import Interrupt, SimulationError, StopProcess
 
 if TYPE_CHECKING:
@@ -188,7 +189,7 @@ class PooledTimeout(Timeout):
     uses the plain :class:`Timeout` as before.
     """
 
-    __slots__ = ()
+    __slots__ = ("_generation",)
 
 
 class Initialize(Event):
@@ -277,10 +278,18 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         env = self.env
         env._active_process = self
+        consumed_inplace = False
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    value = event._value
+                    if consumed_inplace and env._pool_events:
+                        # An in-place-completed event is dead the moment its
+                        # value is read: it has no callback list and (per the
+                        # F501 escape certificate) this process is its only
+                        # holder, so it can serve the next allocation.
+                        env._recycle_consumed(event)
+                    next_event = self._generator.send(value)
                 else:
                     # The waiter acknowledges the failure by having it thrown
                     # into its frame.
@@ -319,6 +328,7 @@ class Process(Event):
                 break
             # The event was already processed: loop immediately with its value.
             event = next_event
+            consumed_inplace = True
 
         self._target = None if self.triggered else self._target
         env._active_process = None
@@ -344,6 +354,11 @@ class ConditionEvent(Event):
         events: Iterable[Event],
     ):
         super().__init__(env)
+        if env._sanitize:
+            # A condition's trigger order follows its children's schedule
+            # order; building one from a set would bake hash-salted
+            # iteration order into the event heap.
+            _sanitize.check_ordered(events, "ConditionEvent(events=...)")
         self._evaluate = evaluate
         self._events: List[Event] = list(events)
         self._count = 0

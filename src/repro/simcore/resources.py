@@ -88,9 +88,16 @@ class Release(Event):
     ``Release``.  The event is therefore completed immediately instead of
     taking a trip through the queue; :meth:`Environment.complete` keeps the
     processed-event count identical to the queued behaviour.
+
+    Under ``Environment(pool_events=True)`` releases recycle through a free
+    list at their creation site: once ``complete`` returns, a release's
+    observable state is a constant (processed, ok, value ``None``), so
+    aliasing between a recycled object and a caller that still holds one is
+    unobservable.  The F501 escape analysis certifies that no call site in
+    the model tree stores a release anyway.
     """
 
-    __slots__ = ("resource", "request")
+    __slots__ = ("resource", "request", "_generation")
 
     def __init__(self, resource: "Resource", request: Request):
         super().__init__(resource.env)
@@ -133,6 +140,25 @@ class Resource:
 
     def release(self, request: Request) -> Release:
         """Return a previously granted slot to the pool."""
+        env = self.env
+        if env._pool_events:
+            pool = env._release_pool
+            if pool:
+                release = pool.pop()
+                # Re-arm the recycled event (state reset mirrors
+                # Release.__init__ + the Event base init).
+                release.callbacks = []
+                release._defused = False
+                release.resource = self
+                release.request = request
+                self._do_release(release)
+                release._ok = True
+                release._value = None
+                env.complete(release)
+            else:
+                release = Release(self, request)
+            env._recycle_release(release)
+            return release
         return Release(self, request)
 
     # -- internal ---------------------------------------------------------
@@ -186,9 +212,16 @@ class PriorityResource(Resource):
 
 
 class StorePut(Event):
-    """Event returned by :meth:`Store.put`; triggers once the item is stored."""
+    """Event returned by :meth:`Store.put`; triggers once the item is stored.
 
-    __slots__ = ("item",)
+    Recycled through the environment's free list under
+    ``Environment(pool_events=True)`` — the F501-certified contract matches
+    :class:`~repro.simcore.events.PooledTimeout`: yield it immediately from
+    exactly one process (or discard it unyielded) and never store or share
+    it; it serves the next ``put`` the moment it has been consumed.
+    """
+
+    __slots__ = ("item", "_generation")
 
     def __init__(self, store: "Store", item: Any):
         # Inlined Event.__init__ (one put per block/message — hot path).
@@ -202,9 +235,13 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
-    """Event returned by :meth:`Store.get`; its value is the retrieved item."""
+    """Event returned by :meth:`Store.get`; its value is the retrieved item.
 
-    __slots__ = ("filter_fn",)
+    Recycled under ``Environment(pool_events=True)`` with the same
+    yield-immediately contract as :class:`StorePut`.
+    """
+
+    __slots__ = ("filter_fn", "_generation")
 
     def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None):
         # Inlined Event.__init__ (one get per block/message — hot path).
@@ -250,11 +287,39 @@ class Store:
 
     def put(self, item: Any) -> StorePut:
         """Add ``item``; the event triggers when capacity permits storage."""
+        env = self.env
+        if env._pool_events:
+            pool = env._put_pool
+            if pool:
+                put = pool.pop()
+                # Re-arm the recycled event (mirrors StorePut.__init__).
+                put.callbacks = []
+                put._value = PENDING
+                put._ok = None
+                put._defused = False
+                put.item = item
+                self._put(put)
+                return put
         return StorePut(self, item)
 
     def get(self) -> StoreGet:
         """Remove and return the oldest item (waits if the store is empty)."""
+        env = self.env
+        if env._pool_events:
+            pool = env._get_pool
+            if pool:
+                return self._rearm_get(pool.pop(), None)
         return StoreGet(self)
+
+    def _rearm_get(self, get: StoreGet, filter_fn: Optional[Callable[[Any], bool]]) -> StoreGet:
+        """Reset a recycled get event and run it (mirrors StoreGet.__init__)."""
+        get.callbacks = []
+        get._value = PENDING
+        get._ok = None
+        get._defused = False
+        get.filter_fn = filter_fn
+        self._get(get)
+        return get
 
     # -- internal ---------------------------------------------------------
     def _put(self, put: StorePut) -> None:
@@ -339,6 +404,11 @@ class FilterStore(Store):
     """A :class:`Store` whose getters may select items with a predicate."""
 
     def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        env = self.env
+        if env._pool_events:
+            pool = env._get_pool
+            if pool:
+                return self._rearm_get(pool.pop(), filter_fn)
         return StoreGet(self, filter_fn)
 
 

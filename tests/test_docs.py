@@ -11,7 +11,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
-from check_links import check_tree  # noqa: E402
+from check_links import check_tree, page_anchors, slugify  # noqa: E402
 
 REQUIRED_DOCS = (
     "docs/architecture.md",
@@ -26,8 +26,12 @@ REQUIRED_DOCS = (
 )
 
 #: Packages whose public API must be fully docstringed (mirrors the ruff
-#: ``D`` lint scope of the CI docs job).
+#: ``D`` lint scope of the CI docs job).  ``lint`` covers the
+#: interprocedural ``lint/flow`` package via the recursive glob.
 DOCSTRINGED_PACKAGES = ("elastic", "workflow", "sweep", "perfmodel", "lint")
+
+#: Top-level modules (not packages) held to the same docstring standard.
+DOCSTRINGED_MODULES = ("sanitize",)
 
 
 def test_required_docs_exist():
@@ -70,6 +74,72 @@ def test_package_docstring_coverage(package):
             if not ast.get_docstring(node):
                 missing.append(f"{path.name}: {node.name}")
     assert missing == [], f"undocumented definitions in repro.{package}: {missing}"
+
+
+def _docstring_gaps(paths):
+    import ast
+
+    missing = []
+    for path in paths:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if not ast.get_docstring(tree):
+            missing.append(f"{path.name}: module")
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not ast.get_docstring(node):
+                missing.append(f"{path.name}: {node.name}")
+    return missing
+
+
+@pytest.mark.parametrize("module", DOCSTRINGED_MODULES)
+def test_module_docstring_coverage(module):
+    """Top-level modules (e.g. the sanitizer) meet the same docstring bar."""
+    path = REPO_ROOT / "src" / "repro" / f"{module}.py"
+    assert path.is_file(), f"missing src/repro/{module}.py"
+    assert _docstring_gaps([path]) == []
+
+
+def test_static_analysis_doc_catalogues_every_rule():
+    """docs/static-analysis.md names every registered rule id and name."""
+    from repro.lint import all_rules
+
+    doc = (REPO_ROOT / "docs" / "static-analysis.md").read_text(encoding="utf-8")
+    for rule in all_rules():
+        assert rule.id in doc, f"{rule.id} missing from static-analysis.md"
+        assert rule.name in doc, f"{rule.name} missing from static-analysis.md"
+
+
+def test_anchor_slugs_match_github_convention():
+    assert slugify("The flow certificate") == "the-flow-certificate"
+    assert slugify("F — interprocedural flow") == "f--interprocedural-flow"
+    assert slugify("Scope: model code vs measurement code") == (
+        "scope-model-code-vs-measurement-code"
+    )
+    assert slugify("`repro.lint` suite") == "reprolint-suite"
+
+
+def test_page_anchors_cover_known_headings():
+    anchors = page_anchors(REPO_ROOT / "docs" / "static-analysis.md")
+    assert "the-runtime-sanitizer" in anchors
+    assert "f--interprocedural-flow" in anchors
+    assert "suppression-syntax" in anchors
+
+
+def test_broken_anchor_is_reported(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("# Real Heading\n", encoding="utf-8")
+    doc = tmp_path / "README.md"
+    doc.write_text(
+        "[ok](page.md#real-heading)\n[bad](page.md#no-such-heading)\n",
+        encoding="utf-8",
+    )
+    broken = check_tree(tmp_path)
+    assert broken == [("README.md", "page.md#no-such-heading")]
 
 
 def test_figures_doc_names_real_grids_and_benches():

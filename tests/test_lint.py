@@ -149,6 +149,38 @@ RULE_FIXTURES = [
         MODEL_MOD,
     ),
     (
+        "F501",
+        (
+            "def proc(self, env, store: Store):\n"
+            "    ev = store.put(1)\n"
+            "    self.pending = ev\n"
+            "    yield ev\n"
+        ),
+        (
+            "def proc(env, store: Store):\n"
+            "    yield store.put(1)\n"
+        ),
+        MODEL_MOD,
+    ),
+    (
+        "F502",
+        (
+            "def compute(self, cores):\n"
+            "    cores.users.append(1)\n"
+            "    yield None\n"
+            "    cores.users.remove(1)\n"
+            "    self.env.credit_events(3)\n"
+        ),
+        (
+            "def compute(self, cores):\n"
+            "    cores.users.append(1)\n"
+            "    yield None\n"
+            "    cores.users.remove(1)\n"
+            "    self.env.credit_events(2)\n"
+        ),
+        MODEL_MOD,
+    ),
+    (
         "H403",
         (
             "import time\n"
@@ -166,6 +198,11 @@ RULE_FIXTURES = [
 ]
 
 
+#: Rules allowed to co-fire on another rule's firing fixture.  F502 is the
+#: interprocedural upgrade of E301, so an uncredited elision trips both.
+CO_FIRING = {"E301": {"F502"}}
+
+
 def _ids():
     seen = {}
     out = []
@@ -181,7 +218,8 @@ def _ids():
 def test_rule_fires_and_negative_stays_silent(rule_id, firing, silent, module_name):
     findings = lint_source(firing, module_name=module_name)
     assert [f.rule for f in findings].count(rule_id) >= 1, f"{rule_id} did not fire"
-    assert all(f.rule == rule_id for f in findings), (
+    tolerated = {rule_id} | CO_FIRING.get(rule_id, set())
+    assert all(f.rule in tolerated for f in findings), (
         f"fixture for {rule_id} tripped other rules: {findings}"
     )
     assert lint_source(silent, module_name=module_name) == []
@@ -193,8 +231,11 @@ def test_rule_fires_and_negative_stays_silent(rule_id, firing, silent, module_na
 def test_allow_comment_suppresses_each_rule(rule_id, firing, silent, module_name):
     findings = lint_source(firing, module_name=module_name)
     lines = firing.splitlines()
+    by_line = {}
     for finding in findings:
-        lines[finding.line - 1] += f"  # lint: allow={rule_id}"
+        by_line.setdefault(finding.line, []).append(finding.rule)
+    for line, rules in by_line.items():
+        lines[line - 1] += f"  # lint: allow={','.join(sorted(set(rules)))}"
     assert lint_source("\n".join(lines) + "\n", module_name=module_name) == []
 
 
@@ -380,7 +421,7 @@ def test_fix_bare_except_rewrites_and_relints_clean():
     source = "try:\n    x = 1\nexcept:\n    x = 2\n"
     findings = lint_source(source, module_name=MODEL_MOD)
     fixed, applied = apply_fixes(source, findings)
-    assert applied == 1
+    assert [f.rule for f in applied] == ["H402"]
     assert "except Exception:" in fixed
     assert lint_source(fixed, module_name=MODEL_MOD) == []
 
@@ -389,7 +430,7 @@ def test_fix_event_slots_inserts_declaration():
     source = 'class StepDone(Event):\n    """Docs."""\n\n    def f(self):\n        pass\n'
     findings = lint_source(source, module_name=MODEL_MOD)
     fixed, applied = apply_fixes(source, findings)
-    assert applied == 1
+    assert [f.rule for f in applied] == ["E302"]
     assert "__slots__ = ()" in fixed
     assert lint_source(fixed, module_name=MODEL_MOD) == []
 
@@ -397,8 +438,43 @@ def test_fix_event_slots_inserts_declaration():
 def test_fix_event_slots_without_docstring():
     source = "class StepDone(Event):\n    def f(self):\n        pass\n"
     fixed, applied = apply_fixes(source, lint_source(source, module_name=MODEL_MOD))
-    assert applied == 1
+    assert len(applied) == 1
     assert lint_source(fixed, module_name=MODEL_MOD) == []
+
+
+def test_fix_applied_order_matches_report_and_roundtrips():
+    # Edits are applied bottom-up so line numbers stay valid, but the
+    # *reported* applied list must read top-down like the findings — even
+    # when the findings are handed over in scrambled order.
+    source = (
+        "try:\n    x = 1\nexcept:\n    x = 2\n"
+        "class StepDone(Event):\n    pass\n"
+        "try:\n    y = 1\nexcept:\n    y = 2\n"
+    )
+    findings = lint_source(source, module_name=MODEL_MOD)
+    fixed, applied = apply_fixes(source, list(reversed(findings)))
+    expected = sorted(
+        (f.line, f.col, f.rule) for f in findings if f.fix is not None
+    )
+    assert [(f.line, f.col, f.rule) for f in applied] == expected
+    assert len(applied) == 3
+    assert lint_source(fixed, module_name=MODEL_MOD) == []
+
+
+def test_fix_report_renders_applied_lines_in_order():
+    source = "try:\n    x = 1\nexcept:\n    x = 2\n"
+    report = LintReport()
+    fixed, applied = apply_fixes(
+        source, lint_source(source, module_name=MODEL_MOD, path="pkg/mod.py")
+    )
+    report.files_checked = 1
+    report.fixes_applied = len(applied)
+    report.applied = applied
+    text = render_text(report)
+    assert "fixed: pkg/mod.py:3:0: H402" in text
+    assert "1 fix(es) applied" in text
+    payload = json.loads(render_json(report))
+    assert [f["rule"] for f in payload["applied"]] == ["H402"]
 
 
 def test_lint_paths_fix_writes_file_back(tmp_path):

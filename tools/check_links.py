@@ -3,8 +3,10 @@
 
 Scans the repository's Markdown documentation for ``[text](target)`` links
 and verifies every non-HTTP target (with any ``#fragment`` stripped) exists
-relative to the file containing the link.  Exits non-zero listing the broken
-links, so CI can gate on documentation staying consistent with the tree.
+relative to the file containing the link — and that a ``#fragment``, when
+present, names a real heading of the target page (GitHub anchor slugs).
+Exits non-zero listing the broken links, so CI can gate on documentation
+staying consistent with the tree.
 
 Usage::
 
@@ -16,22 +18,46 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
+from typing import Iterator, List, Set, Tuple
 
 #: Markdown inline links; deliberately simple — our docs use no nested
 #: brackets or titles inside the target parentheses.
 LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 
+#: ATX headings (``#`` .. ``######``) — the anchors GitHub generates.
+HEADING_RE = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+
 #: Documentation files whose links are checked.
 DOC_GLOBS = ("README.md", "docs/*.md", "ROADMAP.md", "CHANGES.md")
 
 
-def iter_links(path: Path):
+def iter_links(path: Path) -> Iterator[str]:
     """Yield every link target found in ``path``."""
     for match in LINK_RE.finditer(path.read_text(encoding="utf-8")):
         yield match.group(1)
 
 
-def check_tree(root: Path):
+def slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor slug.
+
+    Lowercase, backticks and punctuation stripped, each space turned into a
+    hyphen (consecutive spaces are *not* collapsed, matching GitHub).
+    """
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def page_anchors(path: Path) -> Set[str]:
+    """All anchor slugs a Markdown page defines through its headings."""
+    source = path.read_text(encoding="utf-8")
+    # Fenced code blocks can contain ``#`` comment lines that are not
+    # headings; drop them before scanning.
+    source = re.sub(r"```.*?```", "", source, flags=re.DOTALL)
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(source)}
+
+
+def check_tree(root: Path) -> List[Tuple[str, str]]:
     """Return the list of broken links as (file, target) pairs."""
     broken = []
     for pattern in DOC_GLOBS:
@@ -39,16 +65,19 @@ def check_tree(root: Path):
             for target in iter_links(doc):
                 if target.startswith(("http://", "https://", "mailto:")):
                     continue
-                path_part = target.split("#", 1)[0]
-                if not path_part:  # pure in-page anchor
-                    continue
-                resolved = (doc.parent / path_part).resolve()
+                path_part, _, fragment = target.partition("#")
+                resolved = (doc.parent / path_part).resolve() if path_part else doc
                 if not resolved.exists():
                     broken.append((str(doc.relative_to(root)), target))
+                    continue
+                if fragment and resolved.suffix == ".md":
+                    if fragment not in page_anchors(resolved):
+                        broken.append((str(doc.relative_to(root)), target))
     return broken
 
 
-def main(argv) -> int:
+def main(argv: List[str]) -> int:
+    """Entry point: print broken links and return the exit code."""
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
     broken = check_tree(root)
     if broken:
