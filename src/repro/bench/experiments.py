@@ -39,10 +39,14 @@ __all__ = [
     "figure14_configs",
     "figure16_configs",
     "figure18_configs",
+    "FAULT_CHECKPOINT_INTERVALS",
+    "default_fault_plan",
     "elastic_burst_pipeline",
     "elastic_default_policy",
     "elastic_vs_static_spec",
     "elastic_vs_static_configs",
+    "fault_recovery_spec",
+    "fault_recovery_configs",
     "model_driven_default_policy",
     "model_vs_threshold_spec",
     "model_vs_threshold_configs",
@@ -636,6 +640,118 @@ def model_vs_threshold_configs(
 ) -> List[Tuple[str, PipelineSpec]]:
     """The ``(label, config)`` list form of :func:`model_vs_threshold_spec`."""
     return model_vs_threshold_spec(steps=steps, total_cores=total_cores).configs()
+
+
+#: Checkpoint intervals (steps) swept by the fault-recovery grid.
+FAULT_CHECKPOINT_INTERVALS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def default_fault_plan(
+    horizon: float, label: str = "fault-recovery", seed: int = 11
+) -> "FaultPlan":
+    """The seeded fault schedule of the fault-recovery grid.
+
+    Two simulation-node crashes, one straggler window, one link degradation
+    and one transport restart, all drawn inside ``horizon`` simulated
+    seconds from the label-derived stream — the same plan for every grid
+    case, so elastic-vs-static and per-checkpoint comparisons see the
+    identical fault schedule.
+    """
+    from repro.faults import FaultPlan
+
+    return FaultPlan.seeded(
+        f"{label}/{seed}",
+        ("simulation",),
+        horizon=horizon,
+        couplings=("simulation->analysis",),
+        crashes=2,
+        stragglers=1,
+        degradations=1,
+        restarts=1,
+        slowdown=4.0,
+        degrade_scale=0.25,
+        recovery_seconds=0.25,
+        seed=seed,
+    )
+
+
+def fault_recovery_spec(
+    steps: int = 24,
+    total_cores: int = 384,
+    sim_cores: Optional[int] = None,
+    checkpoint_intervals: Iterable[Optional[int]] = FAULT_CHECKPOINT_INTERVALS,
+    representative_sim_ranks: int = 8,
+    burst_factor: float = 10.0,
+    seed: int = 11,
+) -> SweepSpec:
+    """Checkpoint intervals × {static, elastic} under a seeded fault plan.
+
+    The fault axis of the evaluation (``python -m repro.sweep faults``): the
+    bursty-analytics pipeline at one fixed grant, crossed with checkpoint
+    intervals for the simulation stage and with the static/elastic modes,
+    every case replaying the *same* :func:`default_fault_plan` schedule.
+    ``benchmarks/bench_faults.py`` renders the two derived figures:
+    time-to-recover vs checkpoint interval and elastic vs static makespan
+    under faults.
+    """
+    from repro.workflow.runner import pipeline_simulation_only_time
+
+    if sim_cores is None:
+        sim_cores = max(1, (total_cores * 2) // 3)
+    base = elastic_burst_pipeline(
+        sim_cores=sim_cores,
+        total_cores=total_cores,
+        steps=steps,
+        representative_sim_ranks=representative_sim_ranks,
+        burst_factor=burst_factor,
+    )
+    # The fault window covers the simulation-only span of the *shared* base
+    # pipeline, so the plan is identical for every mode/interval case.
+    plan = default_fault_plan(pipeline_simulation_only_time(base), seed=seed)
+    modes: Dict[str, Optional[ElasticPolicy]] = {
+        "static": None,
+        "elastic": elastic_default_policy(),
+    }
+
+    def derive(params):
+        shape = elastic_burst_pipeline(
+            sim_cores=sim_cores,
+            total_cores=total_cores,
+            steps=steps,
+            representative_sim_ranks=representative_sim_ranks,
+            burst_factor=burst_factor,
+            elastic=modes[params["mode"]],
+        )
+        interval = params["interval"]
+        stages = tuple(
+            stage.replace(checkpoint_interval=interval)
+            if stage.name == "simulation"
+            else stage
+            for stage in shape.stages
+        )
+        return {
+            "stages": stages,
+            "couplings": shape.couplings,
+            "elastic": shape.elastic,
+            "faults": plan,
+        }
+
+    grid = ParamGrid(
+        base,
+        axes=[("mode", tuple(modes)), ("interval", tuple(checkpoint_intervals))],
+        label=lambda p: (
+            f"{p['mode']}/ckpt-{p['interval'] if p['interval'] is not None else 'none'}"
+        ),
+        derive=derive,
+    )
+    return SweepSpec("faults", grids=[grid])
+
+
+def fault_recovery_configs(
+    steps: int = 24, total_cores: int = 384
+) -> List[Tuple[str, PipelineSpec]]:
+    """The ``(label, config)`` list form of :func:`fault_recovery_spec`."""
+    return fault_recovery_spec(steps=steps, total_cores=total_cores).configs()
 
 
 # -- legacy (label, config) list API, kept for the bench drivers -------------

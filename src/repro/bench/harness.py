@@ -87,6 +87,19 @@ def _elastic_suite() -> List[Tuple[str, object]]:
     return model_vs_threshold_configs(steps=24)
 
 
+@_suite("faults", repeats=1)
+def _faults_suite() -> List[Tuple[str, object]]:
+    """Fault-injection suite: checkpoint intervals × modes under one plan.
+
+    A downsized :func:`~repro.bench.experiments.fault_recovery_spec` grid —
+    the injector, crash/respawn and degraded-rerouting paths all fire, so
+    the suite's ``events_processed`` pins the modelled fault workload.
+    """
+    from repro.bench.experiments import fault_recovery_spec
+
+    return fault_recovery_spec(steps=12, checkpoint_intervals=(1, 4)).configs()
+
+
 @_suite("smoke", repeats=1)
 def _smoke_suite() -> List[Tuple[str, object]]:
     """Small grid for CI: one chain and one fan-out at laptop scale."""

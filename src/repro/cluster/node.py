@@ -63,9 +63,14 @@ class ComputeNode:
         self.memory = Container(env, capacity=float(spec.memory_bytes), init=0.0)
         self.busy_core_seconds = 0.0
         self._allocation_scale = 1.0
+        self._fault_scale = 1.0
         # Cached effective rate (reference seconds per simulated second);
-        # invalidated only by set_allocation_scale.
+        # invalidated only by set_allocation_scale / set_fault_scale.
         self._rate = spec.core_speed
+        #: Whether a fault (crash in progress, straggler window) currently
+        #: impairs this node.  Pure observation for monitors and elastic
+        #: controllers; only the fault injector sets it.
+        self.degraded = False
         #: Modelled ranks currently hosted on this node.  Seeded from the
         #: static placement by the pipeline runner and updated when elastic
         #: rank spawns/retires place assist ranks, so spawn-time placement
@@ -96,7 +101,26 @@ class ComputeNode:
         if scale <= 0:
             raise ValueError("allocation scale must be positive")
         self._allocation_scale = float(scale)
-        self._rate = self.spec.core_speed * self._allocation_scale
+        self._rate = self.spec.core_speed * self._allocation_scale * self._fault_scale
+
+    @property
+    def fault_scale(self) -> float:
+        """Fault-induced compute derating (1.0 when the node is healthy)."""
+        return self._fault_scale
+
+    def set_fault_scale(self, scale: float) -> None:
+        """Derate (or restore) this node's compute rate for a fault window.
+
+        Orthogonal to :meth:`set_allocation_scale`: the elastic layer owns
+        the allocation scale, the fault injector owns this one, and the
+        cached rate composes both.  A straggler window sets ``1/slowdown``;
+        recovery restores ``1.0``.  As with allocation changes, only work
+        started after the call runs at the new rate.
+        """
+        if scale <= 0:
+            raise ValueError("fault scale must be positive")
+        self._fault_scale = float(scale)
+        self._rate = self.spec.core_speed * self._allocation_scale * self._fault_scale
 
     def claim_compute_slots(self, count: int = 1) -> None:
         """Declare up to ``count`` additional concurrent :meth:`compute` callers.

@@ -191,7 +191,30 @@ class ElasticControllerBase:
 
     def _apply_allocation(self, name: str) -> None:
         scale = self.allocations[name] / self.baseline[name]
-        self.ctx.cluster.set_node_allocation(self._stage_nodes[name], scale)
+        self._spread_allocation(name, scale)
+
+    def _spread_allocation(self, name: str, scale: float) -> None:
+        """Re-rate a stage's nodes, routing the grant around degraded ones.
+
+        Healthy nodes absorb the share a degraded (crashed or straggling)
+        node cannot use: with ``d`` of ``n`` nodes degraded, healthy nodes
+        run at ``scale * n / (n - d)`` while degraded nodes keep the plain
+        ``scale`` (a crashed node's cores are seized anyway; a straggler
+        stays derated through its fault scale).  With no degraded nodes
+        this is exactly the uniform re-rate, so fault-free runs are
+        bit-identical to the pre-fault engine.
+        """
+        nodes = self._stage_nodes[name]
+        cluster = self.ctx.cluster
+        degraded = [node_id for node_id in nodes if cluster.node(node_id).degraded]
+        if degraded and len(degraded) < len(nodes):
+            healthy = [
+                node_id for node_id in nodes if not cluster.node(node_id).degraded
+            ]
+            cluster.set_node_allocation(healthy, scale * len(nodes) / len(healthy))
+            cluster.set_node_allocation(degraded, scale)
+        else:
+            cluster.set_node_allocation(nodes, scale)
 
     # -- bandwidth-lease mechanism -------------------------------------------
     def _leasable(self, name: str) -> bool:

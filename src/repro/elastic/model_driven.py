@@ -253,4 +253,7 @@ class ModelDrivenController(ElasticControllerBase):
             )
             target = actual
         delivered = (modelled + target) / modelled
-        self.ctx.cluster.set_node_allocation(self._stage_nodes[name], scale / delivered)
+        # The sub-rank remainder routes around degraded nodes like any
+        # other re-rate, so model-driven policies keep rerouting cores
+        # during crash/straggler windows on rank-elastic stages too.
+        self._spread_allocation(name, scale / delivered)

@@ -63,6 +63,10 @@ class StageHealth:
     #: (unbounded delivery queues make transfers complete long before slow
     #: consumers catch up).
     progress_steps: float = 0.0
+    #: Fraction of the stage's nodes currently impaired by a fault (crash
+    #: in progress or straggler window) at the epoch instant — the signal
+    #: controllers use to reroute cores around degraded nodes.
+    degraded_fraction: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -117,6 +121,24 @@ class EpochMonitor:
                     sums[key] = sums.get(key, 0.0) + value
         return sums
 
+    def _degraded_fraction(self, stage: str) -> float:
+        """Fraction of the stage's nodes flagged degraded right now.
+
+        An instantaneous read of the fault injector's ``degraded`` flags —
+        pure observation, like the buffer-occupancy hook.
+        """
+        placement = self.ctx.placement
+        base = placement.stage_node_base[stage]
+        count = placement.stage_nodes[stage]
+        if count <= 0:
+            return 0.0
+        degraded = sum(
+            1
+            for node_id in range(base, base + count)
+            if self.ctx.cluster.node(node_id).degraded
+        )
+        return degraded / count
+
     def _stage_progress(self, stage: str, delta: Dict[str, float]) -> float:
         """Workflow steps the stage advanced, from its own progress counters."""
         step_bytes = self._stage_step_bytes[stage]
@@ -150,6 +172,7 @@ class EpochMonitor:
                 stall_fraction=stall,
                 work_fraction=work,
                 progress_steps=self._stage_progress(name, delta),
+                degraded_fraction=self._degraded_fraction(name),
             )
 
         couplings: Dict[str, CouplingHealth] = {}

@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the coupled-workflow simulator.
+
+Public surface: the plan vocabulary (:class:`FaultSpec`,
+:class:`FaultPlan`, :class:`FaultEvent`) and the :class:`FaultInjector`
+that replays a plan against a running pipeline.  See ``docs/faults.md``
+for the fault model, checkpoint/restart semantics and a worked timeline.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import KINDS, WINDOWED_KINDS, FaultEvent, FaultPlan, FaultSpec
+
+__all__ = [
+    "KINDS",
+    "WINDOWED_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+]

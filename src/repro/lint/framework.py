@@ -71,6 +71,7 @@ MODEL_PACKAGES: Tuple[str, ...] = (
     "repro.elastic",
     "repro.perfmodel",
     "repro.simmpi",
+    "repro.faults",
 )
 
 

@@ -25,8 +25,9 @@ MiB = 1024 * 1024
 
 #: Figure sweeps addressable from the command line ("pipelines" runs the
 #: multi-stage chain/fan-out scenario families through the pipeline API;
-#: "elastic" runs the bursty-analytics elastic-vs-static comparison and
-#: "elastic-model" the threshold-vs-model-driven policy comparison).
+#: "elastic" runs the bursty-analytics elastic-vs-static comparison,
+#: "elastic-model" the threshold-vs-model-driven policy comparison, and
+#: "faults" the checkpoint-interval × static/elastic fault-recovery grid).
 FIGURES = (
     "figure2",
     "figure12",
@@ -37,6 +38,7 @@ FIGURES = (
     "pipelines",
     "elastic",
     "elastic-model",
+    "faults",
 )
 
 
@@ -60,17 +62,17 @@ def build_spec(args: argparse.Namespace) -> SweepSpec:
             core_counts=cores or (384, 768),
             representative_sim_ranks=args.sim_ranks,
         )
-    if args.figure in ("elastic", "elastic-model"):
+    if args.figure in ("elastic", "elastic-model", "faults"):
         if cores and len(cores) > 1:
             raise SystemExit(
                 "error: the elastic figures sweep static grants within one "
                 f"total_cores value; pass a single --cores value, got {args.cores!r}"
             )
-        factory = (
-            experiments.elastic_vs_static_spec
-            if args.figure == "elastic"
-            else experiments.model_vs_threshold_spec
-        )
+        factory = {
+            "elastic": experiments.elastic_vs_static_spec,
+            "elastic-model": experiments.model_vs_threshold_spec,
+            "faults": experiments.fault_recovery_spec,
+        }[args.figure]
         return factory(
             steps=args.steps,
             total_cores=cores[0] if cores else 384,

@@ -60,6 +60,10 @@ def result_payload(result: WorkflowResult) -> Dict[str, object]:
         payload["stage_assist_ranks"] = {
             name: int(count) for name, count in result.stage_assist_ranks.items()
         }
+    if result.faults:
+        # The fault injector's applied timeline, in time order;
+        # FaultEvent.from_dict rebuilds the events on load.
+        payload["faults"] = [event.as_dict() for event in result.faults]
     return payload
 
 

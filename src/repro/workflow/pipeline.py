@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from repro.apps.costs import WorkloadModel
 from repro.cluster.spec import ClusterSpec
 from repro.elastic.policy import ElasticPolicy
+from repro.faults.plan import FaultPlan
 from repro.transports.null import NullTransport
 from repro.transports.registry import transport_class
 
@@ -91,6 +92,11 @@ class StageSpec:
     #: modelled assist ranks at epoch boundaries (the runner's rank lifecycle
     #: hooks) instead of purely re-rating the stage's nodes.
     elastic_ranks: bool = False
+    #: Steps between checkpoints for fault recovery.  A crashed rank loses
+    #: the steps completed since its last checkpoint and recomputes them
+    #: during recovery; ``None`` means no checkpointing — every completed
+    #: step is lost on a crash (see ``docs/faults.md``).
+    checkpoint_interval: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -110,6 +116,10 @@ class StageSpec:
             )
         if self.granted_cores is not None and self.granted_cores <= 0:
             raise ValueError(f"stage {self.name!r} needs granted_cores > 0 (or None)")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError(
+                f"stage {self.name!r} needs checkpoint_interval > 0 (or None)"
+            )
 
     def replace(self, **changes) -> "StageSpec":
         """A copy of the stage spec with ``changes`` applied."""
@@ -194,6 +204,9 @@ class PipelineSpec:
     staging_ranks_per_8_sim: int = 1
     #: Adaptation policy; ``None`` keeps the static resource split.
     elastic: Optional[ElasticPolicy] = None
+    #: Deterministic fault schedule; ``None`` (or an empty plan) injects
+    #: nothing and keeps the run bit-identical to today's fault-free engine.
+    faults: Optional[FaultPlan] = None
     #: Engine fast path: fast-forward pure-compute segments on guaranteed-
     #: uncontended nodes in one event (elided events are credited, results
     #: stay bit-identical — see ``docs/performance.md``).  Turn off to force
@@ -235,6 +248,8 @@ class PipelineSpec:
             raise ValueError("staging_ranks_per_8_sim must be non-negative")
         if self.elastic is not None and not isinstance(self.elastic, ElasticPolicy):
             raise ValueError("elastic must be an ElasticPolicy (or None)")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError("faults must be a FaultPlan (or None)")
         self._validate_graph()
 
     # -- graph validation ---------------------------------------------------

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.elastic.policy import RebalanceEvent
+from repro.faults.plan import FaultEvent
 from repro.trace import Tracer
 
 __all__ = ["StageBreakdown", "WorkflowResult"]
@@ -85,6 +86,10 @@ class WorkflowResult:
     #: unless a controller exercised the runner's rank lifecycle hooks); the
     #: epoch-by-epoch counts live on the ``rebalances`` timeline.
     stage_assist_ranks: Dict[str, int] = field(default_factory=dict)
+    #: Fault timeline of a fault-injected run: every injection and recovery
+    #: the :class:`~repro.faults.injector.FaultInjector` applied, in time
+    #: order (empty for runs without a fault plan).
+    faults: List[FaultEvent] = field(default_factory=list)
     #: Sum of the XmitWait counter over all ports, scaled to the full job.
     xmit_wait: float = 0.0
     #: The full trace (``None`` when tracing was disabled).
@@ -159,4 +164,9 @@ class WorkflowResult:
             )
         for name, spawned in self.stage_assist_ranks.items():
             lines.append(f"  assists  {name:<14s} spawned={spawned}")
+        for event in self.faults:
+            lines.append(
+                f"  fault    t={event.time:8.2f}s {event.kind:<18s} "
+                f"{event.action:<8s} {event.target}"
+            )
         return "\n".join(lines)

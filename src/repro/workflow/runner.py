@@ -40,6 +40,7 @@ from typing import Dict, Generator, Iterable, List, Optional
 from repro.cluster.machine import Cluster
 from repro.cluster.spec import ClusterSpec
 from repro.elastic.controller import ElasticControllerBase
+from repro.faults.injector import FaultInjector
 from repro.simcore import AllOf, Container, Environment, OneShotSignal, Store
 from repro.trace import Tracer
 from repro.transports.base import Transport, TransportFault
@@ -173,6 +174,14 @@ class PipelineRunner:
         self.elastic_controller: Optional[ElasticControllerBase] = (
             pipeline.elastic.build_controller(self.ctx, runner=self)
             if pipeline.elastic is not None
+            else None
+        )
+        #: Deterministic fault injector (None when the spec carries no fault
+        #: plan or an empty one, so fault-free runs schedule zero extra
+        #: events and stay bit-identical to the pre-fault engine).
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(self.ctx, pipeline.faults, runner=self)
+            if pipeline.faults is not None and pipeline.faults.specs
             else None
         )
 
@@ -368,6 +377,7 @@ class PipelineRunner:
             self.pipeline.coalesce and not self.tracer.enabled and not halo_active
         )
         controller = self.elastic_controller
+        injector = self.fault_injector
         pools = self._assist_pools
 
         step = 0
@@ -377,14 +387,23 @@ class PipelineRunner:
             if coalescable and node.can_batch and (pool is None or pool.active <= 0):
                 # With no outbound couplings there is no interaction until the
                 # end of the run, so the whole remaining step range coalesces
-                # — unless a controller may intervene, in which case segments
-                # stay one step long and bounded by the next epoch.
-                window = 1 if (puts or controller is not None) else steps - step
+                # — unless a controller or fault injector may intervene, in
+                # which case segments stay one step long and bounded by the
+                # next epoch/fault instant.
+                window = (
+                    1
+                    if (puts or controller is not None or injector is not None)
+                    else steps - step
+                )
                 deadline = (
                     controller.next_epoch_time
                     if controller is not None
                     else float("inf")
                 )
+                if injector is not None:
+                    fault_deadline = injector.next_fault_time
+                    if fault_deadline < deadline:
+                        deadline = fault_deadline
                 elapsed = yield from node.compute_batch(
                     chunks, steps=window, deadline=deadline
                 )
@@ -569,6 +588,8 @@ class PipelineRunner:
             ]
             if self.elastic_controller is not None:
                 self.elastic_controller.start()
+            if self.fault_injector is not None:
+                self.fault_injector.start()
             env.run(until=AllOf(env, processes))
             end_to_end = max(
                 stats.get("finish_time", 0.0)
@@ -645,6 +666,14 @@ class PipelineRunner:
             rebalances=(
                 list(self.elastic_controller.timeline)
                 if self.elastic_controller is not None
+                else []
+            ),
+            # Injector events stay in events_processed: faults are modelled
+            # workload (unlike the controller's instrumentation wake-ups);
+            # fault-free runs create no injector at all.
+            faults=(
+                list(self.fault_injector.timeline)
+                if self.fault_injector is not None
                 else []
             ),
             stage_assist_ranks={

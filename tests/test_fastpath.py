@@ -267,6 +267,25 @@ class TestCoalescingBitIdentity:
         fast, slow = payload_pair(lower_config(config))
         assert fast == slow
 
+    @pytest.mark.parametrize(
+        "label,config",
+        figure2_configs(steps=4, representative_sim_ranks=4),
+        ids=lambda val: val if isinstance(val, str) else "",
+    )
+    def test_empty_fault_plan_is_inert(self, label, config):
+        """``FaultPlan.none()`` never perturbs a run, on either engine path.
+
+        The no-fault plan creates no injector at all, so results *and*
+        ``events_processed`` must equal the plain pipeline's exactly —
+        across every transport, with coalescing both on and off.
+        """
+        from repro.faults import FaultPlan
+
+        pipeline = lower_config(config)
+        baseline = payload_pair(pipeline)
+        with_plan = payload_pair(pipeline.replace(faults=FaultPlan.none()))
+        assert with_plan == baseline
+
     @pytest.mark.parametrize("shape", [pipeline_chain, pipeline_fanout])
     def test_multi_stage_pipelines(self, shape):
         fast, slow = payload_pair(shape(total_cores=384, steps=6))
@@ -365,3 +384,36 @@ class TestElasticCoalescingBitIdentity:
             self.bursty(elastic=ModelDrivenPolicy.never(epoch_seconds=0.25))
         )
         assert result_payload(never) == result_payload(static)
+
+
+class TestFaultCoalescingBitIdentity:
+    """An active fault plan bounds batch deadlines exactly like an epoch."""
+
+    def seeded_plan(self, pipeline):
+        from repro.faults import FaultPlan
+        from repro.workflow.runner import pipeline_simulation_only_time
+
+        return FaultPlan.seeded(
+            "fastpath",
+            ("simulation",),
+            horizon=pipeline_simulation_only_time(pipeline),
+            couplings=(pipeline.couplings[0].name,),
+        )
+
+    def test_active_plan_coalesces_bit_identically(self):
+        pipeline = elastic_burst_pipeline(sim_cores=192, steps=12)
+        pipeline = pipeline.replace(faults=self.seeded_plan(pipeline))
+        fast, slow = payload_pair(pipeline)
+        assert fast.get("faults"), "the plan must actually fire mid-run"
+        assert fast == slow
+
+    def test_active_plan_under_elastic_control(self):
+        from repro.bench.experiments import elastic_default_policy
+
+        pipeline = elastic_burst_pipeline(
+            sim_cores=192, steps=12, elastic=elastic_default_policy()
+        )
+        pipeline = pipeline.replace(faults=self.seeded_plan(pipeline))
+        fast, slow = payload_pair(pipeline)
+        assert fast.get("faults"), "the plan must actually fire mid-run"
+        assert fast == slow

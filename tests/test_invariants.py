@@ -1,0 +1,168 @@
+"""Property-based invariant harness: random pipelines, engine-wide contracts.
+
+Each seed deterministically generates one small bursty pipeline — random
+step count, core split, burst intensity, elastic policy (threshold,
+model-driven, or none), checkpoint interval and optional seeded fault plan —
+and every invariant test runs over the same seed set.  The invariants are
+the contracts everything else in the repo leans on:
+
+* **bit-identity** — the coalescing fast path and the per-event slow path
+  persist byte-equal payloads, ``events_processed`` included;
+* **conservation** — replaying the rebalance timeline from the baseline
+  holdings reproduces the controller's final allocations and bandwidth
+  shares *exactly* (cores and share units are never created or destroyed);
+* **monotonicity** — recorded timelines never step backwards in time and
+  never outrun the run itself;
+* **round-trip** — the persisted JSONL payload survives a JSON encode/decode
+  unchanged, and the typed timeline events rebuild exactly from their dicts;
+* **reproducibility** — re-running a seeded fault scenario replays the
+  identical fault timeline.
+
+The harness is seeded, not fuzzing: failures reproduce by seed number.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.bench.experiments import (
+    elastic_burst_pipeline,
+    elastic_default_policy,
+    model_driven_default_policy,
+)
+from repro.elastic.policy import RebalanceEvent
+from repro.faults import FaultEvent, FaultPlan
+from repro.sweep.store import result_payload
+from repro.workflow.runner import (
+    PipelineRunner,
+    pipeline_simulation_only_time,
+    run_pipeline,
+)
+
+SEEDS = tuple(range(8))
+
+
+@lru_cache(maxsize=None)
+def scenario(seed: int):
+    """The deterministic random pipeline of one seed."""
+    rng = random.Random(seed)
+    pipeline = elastic_burst_pipeline(
+        sim_cores=rng.choice((128, 192, 256)),
+        steps=rng.choice((6, 8, 10)),
+        burst_factor=rng.choice((4.0, 8.0, 12.0)),
+    )
+    policy = rng.choice(
+        (None, elastic_default_policy(), model_driven_default_policy())
+    )
+    if policy is not None:
+        pipeline = pipeline.replace(elastic=policy)
+    interval = rng.choice((None, 1, 2, 4))
+    pipeline = pipeline.replace(
+        stages=tuple(
+            s.replace(checkpoint_interval=interval) if s.name == "simulation" else s
+            for s in pipeline.stages
+        )
+    )
+    if seed % 2 == 0:
+        plan = FaultPlan.seeded(
+            f"invariants/{seed}",
+            ("simulation",),
+            horizon=pipeline_simulation_only_time(pipeline),
+            couplings=(pipeline.couplings[0].name,),
+            crashes=rng.choice((1, 2)),
+            seed=seed + 1,
+        )
+        pipeline = pipeline.replace(faults=plan)
+    return pipeline
+
+
+@lru_cache(maxsize=None)
+def completed_runner(seed: int) -> PipelineRunner:
+    """One completed (fast-path) run of the seed's pipeline."""
+    runner = PipelineRunner(scenario(seed))
+    runner.result = runner.run()
+    return runner
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fast_and_slow_paths_persist_equal_payloads(seed):
+    pipeline = scenario(seed)
+    fast = result_payload(run_pipeline(pipeline.replace(coalesce=True)))
+    slow = result_payload(run_pipeline(pipeline.replace(coalesce=False)))
+    assert fast == slow
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rebalance_timeline_conserves_cores_and_shares(seed):
+    runner = completed_runner(seed)
+    ctrl = runner.elastic_controller
+    if ctrl is None:
+        pytest.skip("seed generated a static pipeline")
+    allocations = dict(ctrl.baseline)
+    shares = {name: 1.0 for name in ctrl.bandwidth_shares}
+    for event in ctrl.timeline:
+        if event.kind == "stage_resize":
+            allocations[event.donor] -= event.amount
+            allocations[event.receiver] += event.amount
+            assert allocations[event.donor] > 0
+        elif event.kind == "bandwidth_lease":
+            shares[event.donor] -= event.amount
+            shares[event.receiver] += event.amount
+            assert shares[event.donor] > 0
+    # Exact replay: the controller applies the identical +=/-= sequence, so
+    # the final holdings must match bit for bit, not approximately.
+    assert allocations == ctrl.allocations
+    assert shares == ctrl.bandwidth_shares
+    assert math.fsum(allocations.values()) == pytest.approx(ctrl.total_cores)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_timelines_are_monotone_and_bounded_by_the_run(seed):
+    runner = completed_runner(seed)
+    result = runner.result
+    for events in (result.rebalances, result.faults):
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        for when in times:
+            assert 0.0 <= when <= result.end_to_end_time
+    assert result.end_to_end_time > 0.0
+    assert result.stats["events_processed"] > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_persisted_payload_survives_a_json_round_trip(seed):
+    payload = result_payload(completed_runner(seed).result)
+    assert json.loads(json.dumps(payload, sort_keys=True)) == payload
+    for raw in payload.get("faults", ()):
+        event = FaultEvent.from_dict(raw)
+        assert event.as_dict() == raw
+    for raw in payload.get("rebalances", ()):
+        event = RebalanceEvent.from_dict(raw)
+        assert event.as_dict() == raw
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_seeded_fault_scenarios_replay_their_exact_timeline(seed):
+    pipeline = scenario(seed)
+    if pipeline.faults is None:
+        pytest.skip("seed generated a fault-free pipeline")
+    first = completed_runner(seed).result
+    second = run_pipeline(pipeline)
+    assert first.faults, "the seeded plan must actually fire"
+    assert first.faults == second.faults
+    assert first.end_to_end_time == second.end_to_end_time
+    assert first.stats["events_processed"] == second.stats["events_processed"]
+
+
+def test_every_seed_exercises_both_sides_of_each_axis():
+    """The seed set must cover faulty/fault-free and elastic/static cases."""
+    pipelines = [scenario(seed) for seed in SEEDS]
+    assert any(p.faults is not None for p in pipelines)
+    assert any(p.faults is None for p in pipelines)
+    assert any(p.elastic is not None for p in pipelines)
+    assert any(p.elastic is None for p in pipelines)

@@ -313,6 +313,36 @@ class TestResultStoreResume:
         assert loaded["end_to_end_time"] == pytest.approx(record.result.end_to_end_time)
         assert json.dumps(loaded)  # stays JSON-serialisable
 
+    def test_resume_heals_a_tear_inside_a_fault_timeline(self, tmp_path):
+        """A line torn mid-``faults`` array re-runs and re-persists the scenario.
+
+        The fault timeline is the longest nested payload field, so a crash
+        mid-write is likeliest to land inside it; the torn record must not
+        count as completed, and the resumed store's timeline must equal a
+        fresh run's exactly.
+        """
+        from repro.bench.experiments import fault_recovery_spec
+
+        cases = fault_recovery_spec(steps=6, checkpoint_intervals=(1, 4)).configs()[:3]
+        store_path = tmp_path / "faults.jsonl"
+
+        first = SweepRunner(workers=0, store=ResultStore(store_path), trace=False).run(cases)
+        assert all(r.ok and not r.skipped for r in first)
+        lines = store_path.read_text().splitlines()
+        cut = lines[-1].index('"faults"') + len('"faults": [{')
+        store_path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:cut])
+
+        second = SweepRunner(workers=0, store=ResultStore(store_path), trace=False).run(cases)
+        assert [r.label for r in second if not r.skipped] == [cases[-1][0]]
+        healed = ResultStore(store_path).get(
+            cases[-1][0], next(r for r in second if not r.skipped).config_hash
+        )
+        fresh = SweepRunner(workers=0, trace=False).run([cases[-1]])[0]
+        from repro.sweep.store import result_payload
+
+        assert healed["faults"] == result_payload(fresh.result)["faults"]
+        assert healed["faults"]  # the scenario really persisted a timeline
+
 
 class TestBatchWriter:
     def payloads(self, n):
