@@ -54,6 +54,8 @@ __all__ = [
     "pipeline_fanout",
     "pipeline_shapes_spec",
     "pipeline_shapes_configs",
+    "tenant_contention_spec",
+    "tenant_contention_configs",
     "trace_config",
     "run_all",
 ]
@@ -752,6 +754,92 @@ def fault_recovery_configs(
 ) -> List[Tuple[str, PipelineSpec]]:
     """The ``(label, config)`` list form of :func:`fault_recovery_spec`."""
     return fault_recovery_spec(steps=steps, total_cores=total_cores).configs()
+
+
+def tenant_contention_spec(
+    steps: int = 8,
+    capacity_cores: int = 384,
+    burst_jobs: int = 4,
+    epoch_seconds: float = 0.25,
+    seed: int = 23,
+) -> SweepSpec:
+    """Co-scheduling policies × arrival patterns on one contended facility.
+
+    The multi-tenant axis of the evaluation (``python -m repro.sweep
+    tenants``): a deliberately *heterogeneous* queue — one long, heavy
+    ``batch`` job holding most of the facility from time zero, plus a
+    ``burst`` tenant's stream of short, light jobs arriving shortly after —
+    crossed with the two co-scheduling policies and with bursty vs Poisson
+    arrivals.  The shape is the classic head-of-line case: under ``fcfs``
+    the short jobs cannot start until the batch job releases its cores
+    (their demand exceeds the free remainder), inflating their slowdowns,
+    while ``fair`` water-fills the capacity across everyone — so weighted
+    fair share wins on aggregate slowdown for the contended bursty grid
+    (asserted, with fixed seeds, in ``benchmarks/bench_tenants.py``).
+    """
+    from repro.tenants.spec import ArrivalProcess, JobSpec, TenantSpec, job_queue
+    from repro.workflow.runner import pipeline_simulation_only_time
+
+    batch_cores = (capacity_cores * 5) // 6
+    burst_cores = capacity_cores // 3
+    batch_pipeline = elastic_burst_pipeline(
+        sim_cores=(batch_cores * 2) // 3,
+        total_cores=batch_cores,
+        steps=steps * 3,
+        representative_sim_ranks=8,
+    )
+    burst_pipeline = elastic_burst_pipeline(
+        sim_cores=(burst_cores * 2) // 3,
+        total_cores=burst_cores,
+        steps=steps,
+        representative_sim_ranks=4,
+    )
+    batch_job = JobSpec(
+        name="batch/0", tenant="batch", pipeline=batch_pipeline, arrival=0.0, weight=1.0
+    )
+    # Arrivals land early in the batch job's simulation-only span, so the
+    # short jobs always contend with it rather than trickling in after.
+    span = pipeline_simulation_only_time(batch_pipeline)
+    arrival_processes = {
+        "bursty": ArrivalProcess.bursty(
+            count=burst_jobs,
+            rate=burst_jobs / (0.4 * span),
+            burst_size=max(1, burst_jobs // 2),
+            start=0.05 * span,
+        ),
+        "poisson": ArrivalProcess.poisson(
+            count=burst_jobs, rate=burst_jobs / (0.4 * span), start=0.05 * span
+        ),
+    }
+
+    def derive(params):
+        process = arrival_processes[params["arrivals"]]
+        jobs = (batch_job,) + job_queue(
+            "burst", burst_pipeline, process, weight=1.0, seed=seed
+        )
+        return {"jobs": jobs}
+
+    base = TenantSpec(
+        jobs=(batch_job,),
+        policy="fair",
+        capacity_cores=capacity_cores,
+        epoch_seconds=epoch_seconds,
+        seed=seed,
+    )
+    grid = ParamGrid(
+        base,
+        axes=[("policy", ("fcfs", "fair")), ("arrivals", ("bursty", "poisson"))],
+        label="{policy}/{arrivals}",
+        derive=derive,
+    )
+    return SweepSpec("tenants", grids=[grid])
+
+
+def tenant_contention_configs(
+    steps: int = 8, capacity_cores: int = 384
+) -> List[Tuple[str, "TenantSpec"]]:
+    """The ``(label, config)`` list form of :func:`tenant_contention_spec`."""
+    return tenant_contention_spec(steps=steps, capacity_cores=capacity_cores).configs()
 
 
 # -- legacy (label, config) list API, kept for the bench drivers -------------

@@ -100,6 +100,20 @@ def _faults_suite() -> List[Tuple[str, object]]:
     return fault_recovery_spec(steps=12, checkpoint_intervals=(1, 4)).configs()
 
 
+@_suite("tenants", repeats=1)
+def _tenants_suite() -> List[Tuple[str, object]]:
+    """Multi-tenant co-scheduling suite: policy × arrival contention grid.
+
+    A downsized :func:`~repro.bench.experiments.tenant_contention_spec`
+    grid — admission, epoch-quantized water-filling and segmented pipeline
+    advancement all fire, so the suite's ``events_processed`` pins the
+    modelled multi-tenant workload.
+    """
+    from repro.bench.experiments import tenant_contention_spec
+
+    return tenant_contention_spec(steps=6).configs()
+
+
 @_suite("smoke", repeats=1)
 def _smoke_suite() -> List[Tuple[str, object]]:
     """Small grid for CI: one chain and one fan-out at laptop scale."""

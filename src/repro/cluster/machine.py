@@ -126,6 +126,18 @@ class Cluster:
         for node_id in node_ids:
             self.nodes[node_id].set_allocation_scale(scale)
 
+    def set_tenant_scale(self, scale: float) -> None:
+        """Scale every node's compute rate to the owning tenant's share.
+
+        The tenant scheduler's entry point: a job's whole (private) cluster
+        runs at the slice of the shared facility its tenant currently
+        holds.  Delegates to
+        :meth:`~repro.cluster.node.ComputeNode.set_tenant_scale`, which
+        composes the factor with the elastic and fault scales.
+        """
+        for node in self.nodes:
+            node.set_tenant_scale(scale)
+
     def node_of_rank(self, rank: int, ranks_per_node: Optional[int] = None) -> int:
         """Map a rank to a modelled node using block placement."""
         if ranks_per_node is not None and ranks_per_node <= 0:

@@ -64,8 +64,9 @@ class ComputeNode:
         self.busy_core_seconds = 0.0
         self._allocation_scale = 1.0
         self._fault_scale = 1.0
+        self._tenant_scale = 1.0
         # Cached effective rate (reference seconds per simulated second);
-        # invalidated only by set_allocation_scale / set_fault_scale.
+        # invalidated only by the set_*_scale setters.
         self._rate = spec.core_speed
         #: Whether a fault (crash in progress, straggler window) currently
         #: impairs this node.  Pure observation for monitors and elastic
@@ -101,7 +102,12 @@ class ComputeNode:
         if scale <= 0:
             raise ValueError("allocation scale must be positive")
         self._allocation_scale = float(scale)
-        self._rate = self.spec.core_speed * self._allocation_scale * self._fault_scale
+        self._rate = (
+            self.spec.core_speed
+            * self._allocation_scale
+            * self._fault_scale
+            * self._tenant_scale
+        )
 
     @property
     def fault_scale(self) -> float:
@@ -120,7 +126,37 @@ class ComputeNode:
         if scale <= 0:
             raise ValueError("fault scale must be positive")
         self._fault_scale = float(scale)
-        self._rate = self.spec.core_speed * self._allocation_scale * self._fault_scale
+        self._rate = (
+            self.spec.core_speed
+            * self._allocation_scale
+            * self._fault_scale
+            * self._tenant_scale
+        )
+
+    @property
+    def tenant_scale(self) -> float:
+        """Share of this node's compute granted to the hosting job's tenant."""
+        return self._tenant_scale
+
+    def set_tenant_scale(self, scale: float) -> None:
+        """Scale this node's compute rate to the tenant's facility share.
+
+        The third orthogonal rate factor: the elastic layer owns the
+        allocation scale, the fault injector owns the fault scale, and the
+        tenant scheduler owns this one (a job's slice of a *shared*
+        facility, ``scale`` ≤ 1 under contention, 1.0 when dedicated).  The
+        cached rate composes all three, and as with the other factors only
+        work started after the call runs at the new rate.
+        """
+        if scale <= 0:
+            raise ValueError("tenant scale must be positive")
+        self._tenant_scale = float(scale)
+        self._rate = (
+            self.spec.core_speed
+            * self._allocation_scale
+            * self._fault_scale
+            * self._tenant_scale
+        )
 
     def claim_compute_slots(self, count: int = 1) -> None:
         """Declare up to ``count`` additional concurrent :meth:`compute` callers.

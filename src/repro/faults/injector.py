@@ -168,7 +168,7 @@ class FaultInjector:
             )
         else:  # transport_restart
             cctx = self.ctx.coupling(spec.target)
-            cctx.set_bandwidth_share(cctx.bandwidth_share * spec.severity)
+            cctx.set_bandwidth_share(cctx.lease_share * spec.severity)
             self._record(spec, "inject", {"share": float(cctx.bandwidth_share)})
 
     def _recover(self, spec: FaultSpec) -> None:
@@ -197,7 +197,7 @@ class FaultInjector:
             )
         else:  # transport_restart
             cctx = self.ctx.coupling(spec.target)
-            cctx.set_bandwidth_share(cctx.bandwidth_share / spec.severity)
+            cctx.set_bandwidth_share(cctx.lease_share / spec.severity)
             self._record(spec, "recover", {"share": float(cctx.bandwidth_share)})
 
     def _crash_downtime(self, spec: FaultSpec, rank: int, node: "ComputeNode") -> Tuple[float, float]:

@@ -518,6 +518,53 @@ class Environment:
         self._now = stop_time
         return None
 
+    def run_bounded(self, stop_event: Event, stop_time: float) -> bool:
+        """Run until ``stop_event`` is processed or the clock passes ``stop_time``.
+
+        The segment primitive of the tenant co-scheduling layer: a job's
+        private environment is advanced epoch by epoch, stopping either at
+        the job's own completion event (return ``True``) or at the facility
+        epoch boundary (return ``False``), whichever the event queue reaches
+        first.
+
+        The two outcomes deliberately mirror the two ``run(until=...)``
+        modes they split the difference between:
+
+        * when ``stop_event`` is processed, the clock is left at the event's
+          own time — exactly as ``run(until=event)`` leaves it — so a
+          completed segment is indistinguishable from an unsegmented run
+          (no post-completion events are processed, ``events_processed`` and
+          ``now`` match bit for bit);
+        * otherwise the queue is drained through ``stop_time`` and the clock
+          is then pinned to it, exactly as ``run(until=time)`` does, so the
+          next segment resumes from the boundary.
+
+        Raises :class:`SimulationError` if the schedule empties before the
+        event triggers, and re-raises the event's value if it failed —
+        the same contract as ``run(until=event)``.
+        """
+        bound = float(stop_time)
+        if bound < self._now:
+            raise SimulationError(
+                f"stop_time={bound!r} lies before the current time {self._now!r}"
+            )
+        queue = self._queue
+        step = self.step
+        while stop_event.callbacks is not None:
+            if not queue:
+                raise SimulationError(
+                    "run_bounded exhausted the schedule before the event "
+                    "was triggered"
+                )
+            if queue[0][0] > bound:
+                self._now = bound
+                return False
+            step()
+        if not stop_event._ok:
+            stop_event._defused = True
+            raise stop_event._value
+        return True
+
     def run_all(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, optionally bounded by ``max_events``.
 

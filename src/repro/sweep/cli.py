@@ -26,8 +26,9 @@ MiB = 1024 * 1024
 #: Figure sweeps addressable from the command line ("pipelines" runs the
 #: multi-stage chain/fan-out scenario families through the pipeline API;
 #: "elastic" runs the bursty-analytics elastic-vs-static comparison,
-#: "elastic-model" the threshold-vs-model-driven policy comparison, and
-#: "faults" the checkpoint-interval × static/elastic fault-recovery grid).
+#: "elastic-model" the threshold-vs-model-driven policy comparison,
+#: "faults" the checkpoint-interval × static/elastic fault-recovery grid, and
+#: "tenants" the multi-tenant policy × arrival-pattern contention grid).
 FIGURES = (
     "figure2",
     "figure12",
@@ -39,6 +40,7 @@ FIGURES = (
     "elastic",
     "elastic-model",
     "faults",
+    "tenants",
 )
 
 
@@ -61,6 +63,15 @@ def build_spec(args: argparse.Namespace) -> SweepSpec:
             steps=args.steps,
             core_counts=cores or (384, 768),
             representative_sim_ranks=args.sim_ranks,
+        )
+    if args.figure == "tenants":
+        if cores and len(cores) > 1:
+            raise SystemExit(
+                "error: the tenants figure shares one facility capacity; pass a "
+                f"single --cores value, got {args.cores!r}"
+            )
+        return experiments.tenant_contention_spec(
+            steps=args.steps, capacity_cores=cores[0] if cores else 384
         )
     if args.figure in ("elastic", "elastic-model", "faults"):
         if cores and len(cores) > 1:
@@ -146,11 +157,18 @@ def profile_one(spec: SweepSpec) -> int:
     case = cases[0]
     print(f"profiling scenario {case.label!r} of {spec.name} ...")
 
+    from repro.tenants.scheduler import run_tenants
+    from repro.tenants.spec import TenantSpec
     from repro.workflow.pipeline import PipelineSpec
     from repro.workflow.runner import run_pipeline, run_workflow
 
     config = case.config
-    runner = run_pipeline if isinstance(config, PipelineSpec) else run_workflow
+    if isinstance(config, TenantSpec):
+        runner = run_tenants
+    elif isinstance(config, PipelineSpec):
+        runner = run_pipeline
+    else:
+        runner = run_workflow
     runner(config)  # warm imports and caches outside the profile
     profiler = cProfile.Profile()
     profiler.enable()

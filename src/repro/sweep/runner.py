@@ -97,17 +97,20 @@ class SweepRecord:
 def _execute_case(payload: Tuple[int, str, str, AnyConfig]) -> Tuple[int, SweepRecord]:
     """Run one case; module-level so worker processes can unpickle it."""
     index, label, digest, config = payload
+    from repro.tenants.scheduler import run_tenants
+    from repro.tenants.spec import TenantSpec
     from repro.workflow.pipeline import PipelineSpec
     from repro.workflow.runner import run_pipeline, run_workflow
 
     record = SweepRecord(label=label, config_hash=digest, seed=config.seed)
     start = time.perf_counter()
     try:
-        record.result = (
-            run_pipeline(config)
-            if isinstance(config, PipelineSpec)
-            else run_workflow(config)
-        )
+        if isinstance(config, TenantSpec):
+            record.result = run_tenants(config)
+        elif isinstance(config, PipelineSpec):
+            record.result = run_pipeline(config)
+        else:
+            record.result = run_workflow(config)
     except Exception:  # noqa: BLE001 - one bad scenario must not kill the sweep
         record.ok = False
         record.error = traceback.format_exc(limit=8)

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 from repro.cluster.presets import bridges, laptop, stampede2
 from repro.cluster.spec import ClusterSpec
+from repro.tenants.spec import TenantSpec
 from repro.workflow.config import WorkflowConfig
 from repro.workflow.pipeline import PipelineSpec
 
@@ -45,7 +46,7 @@ MACHINES: Dict[str, Callable[[], ClusterSpec]] = {
 }
 
 #: Anything a sweep case may carry as its configuration.
-AnyConfig = Union[WorkflowConfig, PipelineSpec]
+AnyConfig = Union[WorkflowConfig, PipelineSpec, TenantSpec]
 
 #: Axes consumed by the expansion machinery rather than ``replace`` directly.
 _VIRTUAL_AXES = frozenset({"machine"})

@@ -64,6 +64,10 @@ def result_payload(result: WorkflowResult) -> Dict[str, object]:
         # The fault injector's applied timeline, in time order;
         # FaultEvent.from_dict rebuilds the events on load.
         payload["faults"] = [event.as_dict() for event in result.faults]
+    if result.jobs:
+        # The tenant scheduler's job timeline, in time order;
+        # JobEvent.from_dict rebuilds the events on load.
+        payload["jobs"] = [event.as_dict() for event in result.jobs]
     return payload
 
 

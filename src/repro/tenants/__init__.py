@@ -1,0 +1,43 @@
+"""Multi-tenant co-scheduling: a tenant/job layer above the pipeline engine.
+
+Everything below this package runs **one** pipeline on a dedicated cluster;
+this layer co-schedules **many** pipelines on one shared facility — the
+paper's cross-job interference setting, and the ROADMAP's
+millions-of-users framing made concrete (a facility serving a queue of
+coupled workflows).  The vocabulary lives in :mod:`repro.tenants.spec`
+(:class:`JobSpec`, :class:`TenantSpec`, :class:`ArrivalProcess`,
+:class:`JobEvent`), the co-scheduler in :mod:`repro.tenants.scheduler`
+(:class:`TenantScheduler`, :func:`run_tenants`), and the evaluation grid in
+:func:`repro.bench.experiments.tenant_contention_spec` (``python -m
+repro.sweep tenants``).  See ``docs/tenants.md`` for the model.
+"""
+
+from repro.tenants.spec import (
+    EVENT_KINDS,
+    POLICIES,
+    ArrivalProcess,
+    JobEvent,
+    JobSpec,
+    TenantSpec,
+    job_queue,
+)
+from repro.tenants.scheduler import (
+    TenantScheduler,
+    jain_index,
+    run_tenants,
+    water_fill,
+)
+
+__all__ = [
+    "POLICIES",
+    "EVENT_KINDS",
+    "ArrivalProcess",
+    "JobSpec",
+    "TenantSpec",
+    "JobEvent",
+    "job_queue",
+    "TenantScheduler",
+    "run_tenants",
+    "water_fill",
+    "jain_index",
+]

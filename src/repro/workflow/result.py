@@ -11,11 +11,14 @@ sweep store persists all of this as JSONL.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.elastic.policy import RebalanceEvent
 from repro.faults.plan import FaultEvent
 from repro.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tenants.spec import JobEvent
 
 __all__ = ["StageBreakdown", "WorkflowResult"]
 
@@ -90,6 +93,10 @@ class WorkflowResult:
     #: the :class:`~repro.faults.injector.FaultInjector` applied, in time
     #: order (empty for runs without a fault plan).
     faults: List[FaultEvent] = field(default_factory=list)
+    #: Job timeline of a multi-tenant run: every queued/admitted/share/
+    #: completed transition the :class:`~repro.tenants.TenantScheduler`
+    #: recorded, in time order (empty for single-pipeline runs).
+    jobs: List["JobEvent"] = field(default_factory=list)
     #: Sum of the XmitWait counter over all ports, scaled to the full job.
     xmit_wait: float = 0.0
     #: The full trace (``None`` when tracing was disabled).

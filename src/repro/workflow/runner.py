@@ -184,6 +184,17 @@ class PipelineRunner:
             if pipeline.faults is not None and pipeline.faults.specs
             else None
         )
+        #: Earliest instant an *external* co-scheduler (the tenant layer) may
+        #: next change this run's rates.  ``inf`` for dedicated runs — the
+        #: coalescing fast path then ignores it entirely, so a run that is
+        #: never contended stays bit-identical to the pre-tenant engine.
+        #: Owners must express the instant in this run's local clock.
+        self.next_external_change: float = float("inf")
+        # Segmented-execution state (see start/advance/finish): the pending
+        # all-stages completion event and the failure latch.
+        self._completion: Optional[AllOf] = None
+        self._run_failed = False
+        self._failure_reason = ""
 
     # -- construction -------------------------------------------------------
     def _scaled_cluster_spec(self) -> ClusterSpec:
@@ -387,12 +398,18 @@ class PipelineRunner:
             if coalescable and node.can_batch and (pool is None or pool.active <= 0):
                 # With no outbound couplings there is no interaction until the
                 # end of the run, so the whole remaining step range coalesces
-                # — unless a controller or fault injector may intervene, in
-                # which case segments stay one step long and bounded by the
-                # next epoch/fault instant.
+                # — unless a controller, fault injector or external tenant
+                # scheduler may intervene, in which case segments stay one
+                # step long and bounded by the next epoch/fault/share instant.
+                external = self.next_external_change
                 window = (
                     1
-                    if (puts or controller is not None or injector is not None)
+                    if (
+                        puts
+                        or controller is not None
+                        or injector is not None
+                        or external != float("inf")
+                    )
                     else steps - step
                 )
                 deadline = (
@@ -404,6 +421,8 @@ class PipelineRunner:
                     fault_deadline = injector.next_fault_time
                     if fault_deadline < deadline:
                         deadline = fault_deadline
+                if external < deadline:
+                    deadline = external
                 elapsed = yield from node.compute_batch(
                     chunks, steps=window, deadline=deadline
                 )
@@ -572,37 +591,95 @@ class PipelineRunner:
     # -- execution --------------------------------------------------------------
     def run(self) -> WorkflowResult:
         """Execute the pipeline to completion and assemble the result."""
+        try:
+            self.start()
+            self.advance(float("inf"))
+        except BaseException:
+            # Mirror the pre-segmentation behaviour: any error other than a
+            # TransportFault (which advance() latches) still tears the
+            # transports down before propagating.
+            for cctx in self.ctx.couplings:
+                self.transports[cctx.name].teardown(cctx)
+            raise
+        return self.finish()
+
+    def start(self) -> None:
+        """Set up every transport and spawn every simulated process.
+
+        The first third of a segmented run (used by the tenant scheduler to
+        co-schedule many runners): after ``start()`` the run is live but no
+        event has been processed; drive it with :meth:`advance` and collect
+        the result with :meth:`finish`.  ``run()`` composes the three for
+        the ordinary dedicated case.
+        """
         ctx = self.ctx
         env = ctx.env
-        pipeline = self.pipeline
-        failed = False
-        failure_reason = ""
-        end_to_end = float("nan")
         try:
             for cctx in ctx.couplings:
                 self.transports[cctx.name].setup(cctx)
-            processes = [
-                env.process(self._stage_rank_process(stage.name, rank))
-                for stage in pipeline.stages
-                for rank in range(ctx.stage_ranks(stage.name))
-            ]
-            if self.elastic_controller is not None:
-                self.elastic_controller.start()
-            if self.fault_injector is not None:
-                self.fault_injector.start()
-            env.run(until=AllOf(env, processes))
+        except TransportFault as fault:
+            # A modelled setup-time failure (e.g. Decaf's overflow check) is
+            # a *result*, not a crash: latch it so finish() reports it.
+            self._run_failed = True
+            self._failure_reason = fault.reason
+            return
+        processes = [
+            env.process(self._stage_rank_process(stage.name, rank))
+            for stage in self.pipeline.stages
+            for rank in range(ctx.stage_ranks(stage.name))
+        ]
+        if self.elastic_controller is not None:
+            self.elastic_controller.start()
+        if self.fault_injector is not None:
+            self.fault_injector.start()
+        self._completion = AllOf(env, processes)
+
+    @property
+    def finished(self) -> bool:
+        """True once every stage process completed (or the run failed)."""
+        return self._run_failed or (
+            self._completion is not None and self._completion.callbacks is None
+        )
+
+    def advance(self, until: float = float("inf")) -> bool:
+        """Advance the run until it completes or the clock reaches ``until``.
+
+        Returns True when the run is finished (all stage processes done, or
+        a transport fault latched the failure), False when it stopped at the
+        time bound with work still pending.  On completion the environment
+        clock is the actual completion instant; at a bound it is exactly
+        ``until`` — both via :meth:`~repro.simcore.Environment.run_bounded`,
+        so a single unbounded ``advance`` is bit-identical to the
+        pre-segmentation ``env.run(until=AllOf(...))``.
+        """
+        if self.finished:
+            return True
+        if self._completion is None:
+            raise RuntimeError("PipelineRunner.advance() called before start()")
+        try:
+            return self.ctx.env.run_bounded(self._completion, until)
+        except TransportFault as fault:
+            self._run_failed = True
+            self._failure_reason = fault.reason
+            return True
+
+    def finish(self) -> WorkflowResult:
+        """Tear the transports down and assemble the :class:`WorkflowResult`."""
+        ctx = self.ctx
+        env = ctx.env
+        pipeline = self.pipeline
+        failed = self._run_failed
+        failure_reason = self._failure_reason
+        if failed:
+            end_to_end = float("nan")
+        else:
             end_to_end = max(
                 stats.get("finish_time", 0.0)
                 for per_stage in ctx.stage_rank_stats.values()
                 for stats in per_stage.values()
             )
-        except TransportFault as fault:
-            failed = True
-            failure_reason = fault.reason
-            end_to_end = float("nan")
-        finally:
-            for cctx in ctx.couplings:
-                self.transports[cctx.name].teardown(cctx)
+        for cctx in ctx.couplings:
+            self.transports[cctx.name].teardown(cctx)
         ctx.cluster.counters.query(env.now)
 
         stats: Dict[str, float] = defaultdict(float)

@@ -24,12 +24,21 @@ REQUIRED_DOCS = (
     "docs/perf-model.md",
     "docs/performance.md",
     "docs/static-analysis.md",
+    "docs/tenants.md",
 )
 
 #: Packages whose public API must be fully docstringed (mirrors the ruff
 #: ``D`` lint scope of the CI docs job).  ``lint`` covers the
 #: interprocedural ``lint/flow`` package via the recursive glob.
-DOCSTRINGED_PACKAGES = ("elastic", "faults", "workflow", "sweep", "perfmodel", "lint")
+DOCSTRINGED_PACKAGES = (
+    "elastic",
+    "faults",
+    "workflow",
+    "sweep",
+    "perfmodel",
+    "lint",
+    "tenants",
+)
 
 #: Top-level modules (not packages) held to the same docstring standard.
 DOCSTRINGED_MODULES = ("sanitize",)
@@ -158,6 +167,7 @@ def test_figures_doc_names_real_grids_and_benches():
         "elastic_vs_static_spec",
         "model_vs_threshold_spec",
         "fault_recovery_spec",
+        "tenant_contention_spec",
     ):
         assert spec_name in figures, f"figures.md does not mention {spec_name}"
         assert hasattr(experiments, spec_name), f"{spec_name} vanished from experiments"

@@ -417,3 +417,52 @@ class TestFaultCoalescingBitIdentity:
         fast, slow = payload_pair(pipeline)
         assert fast.get("faults"), "the plan must actually fire mid-run"
         assert fast == slow
+
+
+class TestTenantBitIdentity:
+    """The tenant layer adds exactly zero modelled events to a solo run.
+
+    A single job arriving at time zero on an exactly-fitting facility must
+    persist the identical payload — ``events_processed`` included — as the
+    same pipeline run directly through the dedicated engine, with the
+    coalescing fast path on and off alike.
+    """
+
+    def solo_payload(self, pipeline):
+        from repro.tenants import JobSpec, TenantScheduler, TenantSpec
+
+        spec = TenantSpec(
+            jobs=(JobSpec("solo/0", "solo", pipeline),),
+            policy="fair",
+            epoch_seconds=0.25,
+        )
+        scheduler = TenantScheduler(spec)
+        scheduler.run()
+        return result_payload(scheduler.job_results["solo/0"])
+
+    @pytest.mark.parametrize("coalesce", (True, False))
+    def test_solo_job_matches_the_dedicated_engine(self, coalesce):
+        pipeline = elastic_burst_pipeline(sim_cores=192, steps=8).replace(
+            coalesce=coalesce
+        )
+        via_tenants = self.solo_payload(pipeline)
+        dedicated = result_payload(run_pipeline(pipeline))
+        assert via_tenants == dedicated
+        assert via_tenants["stats"]["events_processed"] == (
+            dedicated["stats"]["events_processed"]
+        )
+
+    def test_facility_events_are_instrumentation_only(self):
+        from repro.tenants import JobSpec, TenantScheduler, TenantSpec
+
+        pipeline = elastic_burst_pipeline(sim_cores=192, steps=8)
+        spec = TenantSpec(jobs=(JobSpec("solo/0", "solo", pipeline),))
+        scheduler = TenantScheduler(spec)
+        facility = scheduler.run()
+        dedicated = run_pipeline(pipeline)
+        # The scheduler's own boundary wake-ups are reported separately and
+        # never leak into the modelled event count.
+        assert facility.stats["scheduler_events"] > 0
+        assert facility.stats["events_processed"] == (
+            dedicated.stats["events_processed"]
+        )

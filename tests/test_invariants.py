@@ -18,6 +18,14 @@ the contracts everything else in the repo leans on:
 * **reproducibility** — re-running a seeded fault scenario replays the
   identical fault timeline.
 
+The multi-tenant extension applies the same contracts one layer up: each
+tenant seed generates a small two-tenant facility (a heavy batch job plus a
+seeded stream of light jobs, under either co-scheduling policy), and the
+tests replay the merged job + rebalance timelines to check that the
+scheduler's core grants conserve the facility capacity, that fixed seeds
+reproduce the job timeline event for event, and that the coalescing fast
+path stays bit-identical with two tenants contending.
+
 The harness is seeded, not fuzzing: failures reproduce by seed number.
 """
 
@@ -38,6 +46,16 @@ from repro.bench.experiments import (
 from repro.elastic.policy import RebalanceEvent
 from repro.faults import FaultEvent, FaultPlan
 from repro.sweep.store import result_payload
+from repro.tenants import (
+    POLICIES,
+    ArrivalProcess,
+    JobEvent,
+    JobSpec,
+    TenantScheduler,
+    TenantSpec,
+    job_queue,
+    run_tenants,
+)
 from repro.workflow.runner import (
     PipelineRunner,
     pipeline_simulation_only_time,
@@ -166,3 +184,157 @@ def test_every_seed_exercises_both_sides_of_each_axis():
     assert any(p.faults is None for p in pipelines)
     assert any(p.elastic is not None for p in pipelines)
     assert any(p.elastic is None for p in pipelines)
+
+
+# -- the multi-tenant extension ----------------------------------------------
+TENANT_SEEDS = tuple(range(4))
+
+
+@lru_cache(maxsize=None)
+def tenant_scenario(seed: int) -> TenantSpec:
+    """The deterministic two-tenant facility of one seed.
+
+    Policies alternate by construction so both sides of the axis are always
+    covered; odd seeds put an elastic controller *inside* the light jobs so
+    the facility's tenant scale composes with the controller's allocation
+    scale in at least half the scenarios.
+    """
+    rng = random.Random(1000 + seed)
+    heavy = elastic_burst_pipeline(
+        sim_cores=rng.choice((192, 213)),
+        total_cores=320,
+        steps=rng.choice((4, 6)),
+    )
+    light = elastic_burst_pipeline(
+        sim_cores=85,
+        total_cores=128,
+        steps=rng.choice((2, 3)),
+        representative_sim_ranks=4,
+    )
+    if seed % 2:
+        light = light.replace(elastic=elastic_default_policy())
+    arrivals = ArrivalProcess.bursty(
+        count=2, rate=1.0, burst_size=2, start=rng.choice((0.2, 0.7))
+    )
+    jobs = (JobSpec("heavy/0", "heavy", heavy, arrival=0.0),) + job_queue(
+        "light", light, arrivals, seed=seed + 1
+    )
+    return TenantSpec(
+        jobs=jobs,
+        policy=POLICIES[seed % len(POLICIES)],
+        capacity_cores=384,
+        epoch_seconds=0.25,
+        label=f"invariants/tenants/{seed}",
+    )
+
+
+@lru_cache(maxsize=None)
+def completed_tenant_scheduler(seed: int) -> TenantScheduler:
+    """One completed facility run of the seed's tenant scenario."""
+    scheduler = TenantScheduler(tenant_scenario(seed))
+    scheduler.result = scheduler.run()
+    return scheduler
+
+
+@pytest.mark.parametrize("seed", TENANT_SEEDS)
+def test_tenant_grants_conserve_capacity_on_the_merged_timeline(seed):
+    """Replaying job + rebalance events together conserves every ledger.
+
+    The facility ledger: at each instant a ``share`` event fires, the fair
+    scheduler's active grants must water-fill to ``min(capacity, demand)``;
+    under FCFS the admitted demands must fit the capacity exactly (integer
+    arithmetic, no tolerance) and shares must never move at all.  The
+    merged job-level ledger: every rebalance a job's own elastic controller
+    applied must land inside that job's [admit, complete] facility window.
+    """
+    scheduler = completed_tenant_scheduler(seed)
+    spec = scheduler.spec
+    capacity = float(spec.capacity)
+
+    admit_time = {e.job: e.time for e in scheduler.timeline if e.kind == "admitted"}
+    finish_time = {e.job: e.time for e in scheduler.timeline if e.kind == "completed"}
+    merged = [(event.time, "job", event.job, event) for event in scheduler.timeline]
+    for name, result in scheduler.job_results.items():
+        for event in result.rebalances:
+            merged.append((admit_time[name] + event.time, "rebalance", name, event))
+    merged.sort(key=lambda item: item[0])
+    assert [t for t, *_ in merged] == sorted(t for t, *_ in merged)
+
+    demand = {}
+    active = set()
+    for when, source, name, event in merged:
+        if source == "rebalance":
+            assert admit_time[name] <= when <= finish_time[name]
+            continue
+        if event.kind == "admitted":
+            demand[name] = event.detail["demand"]
+            active.add(name)
+            if spec.policy == "fcfs":
+                # Dedicated admission: integer demands, exact fit, no slack.
+                assert sum(int(demand[n]) for n in active) <= int(capacity)
+        elif event.kind == "share":
+            assert spec.policy == "fair", "FCFS must never move a share"
+        elif event.kind == "completed":
+            active.discard(name)
+    # Conservation at each share instant, with all same-time events applied:
+    # the water-filled grants of the active set sum to the wet capacity.
+    share_instants = sorted({e.time for e in scheduler.timeline if e.kind == "share"})
+    for instant in share_instants:
+        running = {
+            e.job: e.detail["demand"]
+            for e in scheduler.timeline
+            if e.kind == "admitted" and e.time <= instant
+        }
+        for e in scheduler.timeline:
+            if e.kind == "completed" and e.time <= instant:
+                running.pop(e.job, None)
+        grants = {}
+        for e in scheduler.timeline:
+            if e.job in running and e.time <= instant:
+                if e.kind == "admitted":
+                    grants[e.job] = e.detail["share"] * e.detail["demand"]
+                elif e.kind == "share":
+                    grants[e.job] = e.detail["grant"]
+        wet = min(capacity, sum(running.values()))
+        assert math.fsum(grants.values()) == pytest.approx(wet)
+
+
+@pytest.mark.parametrize("seed", TENANT_SEEDS)
+def test_tenant_timelines_replay_identically_under_fixed_seeds(seed):
+    first = completed_tenant_scheduler(seed)
+    second = TenantScheduler(tenant_scenario(seed))
+    result = second.run()
+    assert first.timeline == second.timeline
+    assert first.timeline, "the scenario must actually record a timeline"
+    assert first.result.end_to_end_time == result.end_to_end_time
+    assert first.result.stats["events_processed"] == result.stats["events_processed"]
+    for raw in result_payload(result).get("jobs", ()):
+        event = JobEvent.from_dict(raw)
+        assert event.as_dict() == raw
+
+
+@pytest.mark.parametrize("seed", TENANT_SEEDS)
+def test_tenant_fast_and_slow_paths_persist_equal_payloads(seed):
+    spec = tenant_scenario(seed)
+
+    def with_coalesce(flag: bool) -> TenantSpec:
+        return spec.replace(
+            jobs=tuple(
+                job.replace(pipeline=job.pipeline.replace(coalesce=flag))
+                for job in spec.jobs
+            )
+        )
+
+    fast = result_payload(run_tenants(with_coalesce(True)))
+    slow = result_payload(run_tenants(with_coalesce(False)))
+    assert fast == slow
+
+
+def test_every_tenant_seed_exercises_both_policies():
+    """The tenant seed set must cover FCFS and fair, elastic and static jobs."""
+    specs = [tenant_scenario(seed) for seed in TENANT_SEEDS]
+    assert {spec.policy for spec in specs} == set(POLICIES)
+    elastic_jobs = [
+        job.pipeline.elastic is not None for spec in specs for job in spec.jobs
+    ]
+    assert any(elastic_jobs) and not all(elastic_jobs)

@@ -343,6 +343,37 @@ class TestResultStoreResume:
         assert healed["faults"] == result_payload(fresh.result)["faults"]
         assert healed["faults"]  # the scenario really persisted a timeline
 
+    def test_resume_heals_a_tear_inside_a_job_timeline(self, tmp_path):
+        """A line torn mid-``jobs`` array re-runs and re-persists the scenario.
+
+        The multi-tenant job timeline is the tenant records' longest nested
+        payload field (queued/admitted/share/completed per job), so it gets
+        the same torn-tail treatment as the fault timeline: the torn record
+        must not count as completed, and the resumed store's timeline must
+        equal a fresh run's exactly.
+        """
+        from repro.bench.experiments import tenant_contention_spec
+
+        cases = tenant_contention_spec(steps=3).configs()[:2]
+        store_path = tmp_path / "tenants.jsonl"
+
+        first = SweepRunner(workers=0, store=ResultStore(store_path), trace=False).run(cases)
+        assert all(r.ok and not r.skipped for r in first)
+        lines = store_path.read_text().splitlines()
+        cut = lines[-1].index('"jobs"') + len('"jobs": [{')
+        store_path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:cut])
+
+        second = SweepRunner(workers=0, store=ResultStore(store_path), trace=False).run(cases)
+        assert [r.label for r in second if not r.skipped] == [cases[-1][0]]
+        healed = ResultStore(store_path).get(
+            cases[-1][0], next(r for r in second if not r.skipped).config_hash
+        )
+        fresh = SweepRunner(workers=0, trace=False).run([cases[-1]])[0]
+        from repro.sweep.store import result_payload
+
+        assert healed["jobs"] == result_payload(fresh.result)["jobs"]
+        assert healed["jobs"]  # the scenario really persisted a timeline
+
 
 class TestBatchWriter:
     def payloads(self, n):
