@@ -1,0 +1,55 @@
+"""Distributed-campaign overhead: coordinator + workers vs a plain sweep.
+
+Runs the ``campaign`` suite of the continuous-benchmark harness — a small
+figure2 grid executed through a real lease/heartbeat coordinator and two
+local workers over localhost HTTP, then through a plain serial runner.
+The suite itself asserts the tentpole guarantee (the campaign store's
+canonical bytes equal the single-host run's; see ``docs/campaigns.md``)
+and stamps the protocol overhead into the result's environment, which this
+driver prints next to the committed ``BENCH_campaign.json`` baseline.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.bench.harness import bench_path, compare, load_result, run_suite
+
+
+def test_campaign_overhead(benchmark, report):
+    result = benchmark.pedantic(run_suite, args=("campaign",), rounds=1, iterations=1)
+    assert result.failed_scenarios == 0
+    assert result.events_processed > 0
+    # run_campaign_suite raises outright when byte-identity is violated;
+    # the stamp is belt and braces for the recorded history.
+    assert result.environment["byte_identical"] == "true"
+
+    previous = load_result(bench_path("campaign"))
+    delta = compare(result, previous)
+    rows = [
+        [
+            "this run",
+            f"{result.events_per_sec:,.0f}",
+            result.events_processed,
+            f"{result.environment['overhead_pct']}%",
+        ]
+    ]
+    if previous is not None:
+        rows.append(
+            [
+                "committed baseline",
+                f"{previous.events_per_sec:,.0f}",
+                previous.events_processed,
+                f"{previous.environment.get('overhead_pct', '?')}%",
+            ]
+        )
+        rows.append(["speedup vs baseline", f"{delta['speedup']:.2f}x", "", ""])
+        # The modelled-event count is machine-independent: a mismatch means
+        # the grid changed without refreshing BENCH_campaign.json.
+        assert result.events_processed == previous.events_processed
+    report(
+        format_table(
+            ["measurement", "events/sec", "events_processed", "overhead vs serial"],
+            rows,
+            title="Campaign overhead (coordinator + 2 workers vs plain serial sweep)",
+        )
+    )

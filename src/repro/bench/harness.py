@@ -142,6 +142,20 @@ def _sanitize_suite() -> List[Tuple[str, object]]:
     ]
 
 
+@_suite("campaign", repeats=1)
+def _campaign_suite() -> List[Tuple[str, object]]:
+    """Distributed-campaign overhead suite (see :mod:`repro.campaign.bench`).
+
+    Measured through a real coordinator/worker campaign over localhost HTTP
+    rather than the plain sweep engine — :func:`run_suite` dispatches it to
+    :func:`repro.campaign.bench.run_campaign_suite`, which also asserts the
+    canonical byte-identity of the campaign store against a serial baseline.
+    """
+    from repro.campaign.bench import campaign_suite_cases
+
+    return campaign_suite_cases()
+
+
 @dataclass
 class BenchResult:
     """One measured run of a bench suite (the ``BENCH_<suite>.json`` schema)."""
@@ -190,6 +204,10 @@ def run_suite(suite: str, workers: int = 0, repeats: Optional[int] = None) -> Be
     """
     from repro.sweep.runner import SweepRunner
 
+    if suite == "campaign":
+        from repro.campaign.bench import run_campaign_suite
+
+        return run_campaign_suite(workers=workers, repeats=repeats)
     cases = suite_cases(suite)  # raises for unknown suites
     _factory, default_repeats = SUITES[suite]
     n = default_repeats if repeats is None else max(1, int(repeats))

@@ -1,0 +1,182 @@
+"""Wire protocol shared by the campaign coordinator and its workers.
+
+Everything on the wire is JSON over HTTP (stdlib only: ``http.server`` on
+the coordinator, ``urllib.request`` here).  Configurations never travel:
+a campaign is identified by a small **spec descriptor** — the figure name
+plus the CLI downsizing knobs — and both sides expand it independently
+through :func:`repro.sweep.cli.build_spec` and prepare it with
+:func:`repro.sweep.runner.prepare_cases`.  The deterministic grids make
+both expansions identical, which the worker verifies case by case against
+the ``(label, config_hash)`` identities the coordinator leases out; a
+mismatch (version skew between hosts) aborts loudly instead of corrupting
+the store.
+
+Endpoints (all responses are JSON bodies with HTTP 200):
+
+===========  ======  ====================================================
+``/spec``    GET     descriptor + execution knobs for joining workers
+``/status``  GET     board snapshot, store path, worker census
+``/lease``   POST    ``{worker}`` -> a shard lease, ``wait`` or ``complete``
+``/heartbeat``  POST ``{worker, lease_id}`` -> ``{ok}`` (``false`` = abandon)
+``/results`` POST    ``{worker, lease_id, records, done}`` -> merge ack
+===========  ======  ====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+__all__ = [
+    "CoordinatorClient",
+    "CoordinatorUnreachable",
+    "DESCRIPTOR_KNOBS",
+    "PROTOCOL_VERSION",
+    "campaign_cases",
+    "resolve_spec",
+    "spec_descriptor",
+]
+
+#: Bumped on incompatible wire or sharding changes; both sides check it.
+PROTOCOL_VERSION = 1
+
+#: Descriptor knobs and their defaults — mirrors the ``repro.sweep`` CLI
+#: parser so a descriptor names the same grid a local sweep would run.
+DESCRIPTOR_KNOBS: Dict[str, object] = {
+    "steps": 4,
+    "steps_cap": 64,
+    "sim_ranks": 4,
+    "data_mib": 32,
+    "cores": "",
+}
+
+
+def spec_descriptor(figure: str, **knobs: object) -> Dict[str, object]:
+    """A self-contained, JSON-safe description of one figure sweep.
+
+    ``figure`` must be one of :data:`repro.sweep.cli.FIGURES`; ``knobs``
+    may override any :data:`DESCRIPTOR_KNOBS` entry (unknown knobs are
+    rejected so typos cannot silently shard a different grid).
+    """
+    from repro.sweep.cli import FIGURES
+
+    if figure not in FIGURES:
+        raise ValueError(f"unknown figure {figure!r}; known: {list(FIGURES)}")
+    unknown = sorted(set(knobs) - set(DESCRIPTOR_KNOBS))
+    if unknown:
+        raise ValueError(f"unknown descriptor knob(s) {unknown}; known: {sorted(DESCRIPTOR_KNOBS)}")
+    descriptor: Dict[str, object] = {"version": PROTOCOL_VERSION, "figure": figure}
+    descriptor.update(DESCRIPTOR_KNOBS)
+    descriptor.update(knobs)
+    return descriptor
+
+
+def resolve_spec(descriptor: Dict[str, object]):
+    """Expand a descriptor into the :class:`~repro.sweep.spec.SweepSpec` it names."""
+    from repro.sweep.cli import build_spec
+
+    version = descriptor.get("version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ValueError(
+            f"campaign protocol version mismatch: descriptor has {version}, "
+            f"this host speaks {PROTOCOL_VERSION}"
+        )
+    namespace = argparse.Namespace(figure=descriptor["figure"])
+    for knob, default in DESCRIPTOR_KNOBS.items():
+        setattr(namespace, knob, descriptor.get(knob, default))
+    return build_spec(namespace)
+
+
+def campaign_cases(descriptor: Dict[str, object]):
+    """The prepared, shard-addressable case list both sides agree on.
+
+    Preparation matches a plain ``python -m repro.sweep`` run (label-derived
+    reseeding, traces off), so the records a campaign merges are the records
+    a single-host sweep of the same descriptor would write.
+    """
+    from repro.sweep.runner import prepare_cases
+
+    return prepare_cases(resolve_spec(descriptor), reseed=True, trace=False)
+
+
+class CoordinatorUnreachable(RuntimeError):
+    """The coordinator did not answer (down, restarting, or unreachable)."""
+
+
+def request_json(
+    url: str, payload: Optional[Dict[str, object]] = None, timeout: float = 10.0
+) -> Dict[str, object]:
+    """One JSON round trip: GET (``payload=None``) or POST ``payload``.
+
+    Transport-level failures raise :class:`CoordinatorUnreachable` (callers
+    retry those — the coordinator may simply be restarting); an HTTP error
+    status or a non-object body raises ``RuntimeError`` (a protocol bug, not
+    worth retrying).
+    """
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = response.read()
+    except urllib.error.HTTPError as exc:
+        raise RuntimeError(f"{url}: HTTP {exc.code} {exc.reason}") from exc
+    except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+        raise CoordinatorUnreachable(f"{url}: {exc}") from exc
+    decoded = json.loads(body.decode("utf-8"))
+    if not isinstance(decoded, dict):
+        raise RuntimeError(f"{url}: expected a JSON object, got {type(decoded).__name__}")
+    return decoded
+
+
+class CoordinatorClient:
+    """Typed JSON client for the coordinator's endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CoordinatorClient {self.base_url!r}>"
+
+    def spec(self) -> Dict[str, object]:
+        """The campaign's descriptor and execution knobs."""
+        return request_json(f"{self.base_url}/spec", timeout=self.timeout)
+
+    def status(self) -> Dict[str, object]:
+        """The coordinator's live status snapshot."""
+        return request_json(f"{self.base_url}/status", timeout=self.timeout)
+
+    def lease(self, worker: str) -> Dict[str, object]:
+        """Request the next shard lease for ``worker``."""
+        return request_json(
+            f"{self.base_url}/lease", {"worker": worker}, timeout=self.timeout
+        )
+
+    def heartbeat(self, worker: str, lease_id: str) -> Dict[str, object]:
+        """Keep a lease alive; ``{"ok": false}`` means it was reclaimed."""
+        return request_json(
+            f"{self.base_url}/heartbeat",
+            {"worker": worker, "lease_id": lease_id},
+            timeout=self.timeout,
+        )
+
+    def results(
+        self,
+        worker: str,
+        lease_id: str,
+        records: List[Dict[str, object]],
+        done: bool = False,
+    ) -> Dict[str, object]:
+        """Stream a batch of record payloads back; ``done`` retires the lease."""
+        return request_json(
+            f"{self.base_url}/results",
+            {"worker": worker, "lease_id": lease_id, "records": records, "done": done},
+            timeout=self.timeout,
+        )

@@ -20,11 +20,13 @@ from repro.sweep.spec import (
 from repro.sweep.runner import (
     SweepRecord,
     SweepRunner,
+    classify_error,
     derive_case_seed,
+    prepare_cases,
     run_cases,
     run_labelled,
 )
-from repro.sweep.store import ResultStore, result_payload
+from repro.sweep.store import VOLATILE_KEYS, ResultStore, result_payload
 
 __all__ = [
     "MACHINES",
@@ -35,9 +37,12 @@ __all__ = [
     "resolve_machine",
     "SweepRecord",
     "SweepRunner",
+    "classify_error",
     "derive_case_seed",
+    "prepare_cases",
     "run_cases",
     "run_labelled",
     "ResultStore",
+    "VOLATILE_KEYS",
     "result_payload",
 ]

@@ -7,6 +7,9 @@ multiprocessing path and by hand for quick scaling studies, e.g.::
     PYTHONPATH=src python -m repro.sweep figure2 --steps 4 --sim-ranks 4 --workers 2
     PYTHONPATH=src python -m repro.sweep figure16 --steps 3 --cores 204,408 \
         --workers 4 --store results/figure16.jsonl
+
+``python -m repro.sweep campaign ...`` dispatches to the distributed
+campaign driver (coordinator + workers, see :mod:`repro.campaign.cli`).
 """
 
 from __future__ import annotations
@@ -183,6 +186,11 @@ def profile_one(spec: SweepSpec) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro.sweep``; returns the exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     args = _parser().parse_args(argv)
     spec = build_spec(args)
     if args.profile:

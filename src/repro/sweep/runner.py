@@ -24,6 +24,7 @@ and yields one :class:`SweepRecord` per case.  Guarantees:
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -33,7 +34,15 @@ from repro.sweep.spec import AnyConfig, SweepCase, SweepSpec
 from repro.sweep.store import ResultStore, result_payload
 from repro.workflow.result import WorkflowResult
 
-__all__ = ["SweepRecord", "SweepRunner", "run_cases", "run_labelled", "derive_case_seed"]
+__all__ = [
+    "SweepRecord",
+    "SweepRunner",
+    "classify_error",
+    "derive_case_seed",
+    "prepare_cases",
+    "run_cases",
+    "run_labelled",
+]
 
 #: Anything accepted as the work list of a sweep run.
 Cases = Union[SweepSpec, Sequence[SweepCase], Sequence[Tuple[str, AnyConfig]]]
@@ -48,6 +57,24 @@ def derive_case_seed(base_seed: int, label: str) -> int:
         h ^= byte
         h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
     return (int(base_seed) ^ h) % (2**31 - 1) + 1
+
+
+#: Exception families worth retrying: the environment (not the scenario)
+#: failed, so a later attempt on a healthy host can succeed.  ``OSError``
+#: covers the I/O, connection and timeout hierarchy since Python 3.3.
+_TRANSIENT_EXCEPTIONS = (OSError, MemoryError, EOFError, BrokenPipeError)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Classify a crash as ``"transient"`` (retryable) or ``"permanent"``.
+
+    Deterministic scenarios fail deterministically: a ``ValueError`` from a
+    config will raise again on every retry, so it is permanent, while
+    resource exhaustion and I/O faults are properties of the host that ran
+    the case.  Campaign schedulers retry transient records with backoff and
+    quarantine permanent ones immediately (see ``docs/campaigns.md``).
+    """
+    return "transient" if isinstance(exc, _TRANSIENT_EXCEPTIONS) else "permanent"
 
 
 @dataclass
@@ -65,6 +92,11 @@ class SweepRecord:
     ok: bool = True
     skipped: bool = False
     error: str = ""
+    #: Failure classification for crashed records: ``"transient"`` (retry
+    #: may succeed), ``"permanent"`` (deterministic crash), ``"timeout"``
+    #: (killed past ``case_timeout_seconds``) or ``"lost"`` (the worker
+    #: process died without reporting).  Empty for successful records.
+    error_kind: str = ""
     elapsed: float = 0.0
     result: Optional[WorkflowResult] = None
     #: Stored summary for records resumed from a result store.
@@ -89,6 +121,8 @@ class SweepRecord:
             "error": self.error,
             "elapsed": self.elapsed,
         }
+        if self.error_kind:
+            record["error_kind"] = self.error_kind
         if self.result is not None:
             record.update(result_payload(self.result))
         return record
@@ -111,11 +145,31 @@ def _execute_case(payload: Tuple[int, str, str, AnyConfig]) -> Tuple[int, SweepR
             record.result = run_pipeline(config)
         else:
             record.result = run_workflow(config)
-    except Exception:  # noqa: BLE001 - one bad scenario must not kill the sweep
+    except Exception as exc:  # noqa: BLE001 - one bad scenario must not kill the sweep
         record.ok = False
         record.error = traceback.format_exc(limit=8)
+        record.error_kind = classify_error(exc)
     record.elapsed = time.perf_counter() - start
     return index, record
+
+
+def _execute_case_to_queue(payload: Tuple[int, str, str, AnyConfig], results) -> None:
+    """Child-process entry of the timeout path: run one case, ship the record."""
+    results.put(_execute_case(payload))
+
+
+def prepare_cases(
+    cases: Cases, reseed: bool = True, trace: Optional[bool] = None
+) -> List[SweepCase]:
+    """The exact case list a :class:`SweepRunner` with these settings executes.
+
+    Applies the runner's per-case preparation (label-derived reseeding and
+    the sweep-wide trace override) without running anything.  Campaign
+    coordinators and workers both shard over this list so their resume keys
+    and records match a single-host run byte for byte.
+    """
+    runner = SweepRunner(workers=0, reseed=reseed, trace=trace)
+    return [runner._prepare(case) for case in runner._as_cases(cases)]
 
 
 class SweepRunner:
@@ -139,6 +193,14 @@ class SweepRunner:
     progress:
         Callback ``(record, done, total)`` invoked as records arrive
         (completion order under a pool, case order when serial).
+    case_timeout_seconds:
+        Wall-clock budget per case.  A case still running past it is
+        *killed* and recorded as a failed record with
+        ``error_kind="timeout"``, and its slot is immediately replenished —
+        one hung scenario can no longer stall the whole sweep.  Enforcing a
+        kill requires process isolation, so with a timeout set every case
+        runs in a fresh child process (even at ``workers=0``, where one
+        child runs at a time) instead of through the persistent pool.
     """
 
     def __init__(
@@ -149,11 +211,15 @@ class SweepRunner:
         trace: Optional[bool] = None,
         progress: Optional[ProgressCallback] = None,
         mp_context: Optional[str] = None,
+        case_timeout_seconds: Optional[float] = None,
     ):
         if workers is None:
             workers = multiprocessing.cpu_count()
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        if case_timeout_seconds is not None and case_timeout_seconds <= 0:
+            raise ValueError("case_timeout_seconds must be positive")
+        self.case_timeout_seconds = case_timeout_seconds
         self.workers = int(workers)
         self.store = ResultStore(store) if isinstance(store, (str,)) else store
         self.reseed = reseed
@@ -281,7 +347,9 @@ class SweepRunner:
         try:
             if writer is not None:
                 writer.__enter__()
-            if self.workers > 1 and len(pending) > 1:
+            if self.case_timeout_seconds is not None and pending:
+                self._run_with_timeout(pending, _collect)
+            elif self.workers > 1 and len(pending) > 1:
                 # Chunked dispatch over the persistent pool: one IPC round per
                 # chunk instead of per case, sized so every worker still gets
                 # several chunks for load balancing.
@@ -292,11 +360,13 @@ class SweepRunner:
                         _execute_case, pending, chunksize=chunksize
                     ):
                         _collect(index, record)
-                except Exception:
+                except BaseException:
                     # A transport error inside a case is captured in its
                     # record; reaching here means the pool itself broke
-                    # (unpicklable case, dead worker) — drop it so the next
-                    # run() starts from a clean pool.
+                    # (unpicklable case, dead worker) or the parent is being
+                    # torn down (KeyboardInterrupt) — terminate the workers
+                    # now rather than leaking them, and start the next run()
+                    # from a clean pool.
                     self.close()
                     raise
             else:
@@ -308,6 +378,126 @@ class SweepRunner:
                 writer.close()
 
         return [r for r in records if r is not None]
+
+    def _run_with_timeout(
+        self,
+        pending: List[Tuple[int, str, str, AnyConfig]],
+        collect: Callable[[int, SweepRecord], None],
+    ) -> None:
+        """Run cases in killable child processes under the per-case deadline.
+
+        Up to ``max(1, workers)`` children run at once, each executing one
+        case and shipping its record back over a queue.  A child that
+        outlives ``case_timeout_seconds`` is killed and recorded as a
+        ``timeout``; one that dies without reporting (OOM-killed, crashed
+        interpreter) is recorded as ``lost``.  Either way the slot is
+        replenished with the next pending case.
+        """
+        ctx = multiprocessing.get_context(self.mp_context)
+        results = ctx.Queue()
+        limit = max(1, self.workers)
+        timeout = float(self.case_timeout_seconds or 0.0)
+        todo = list(pending)
+        # index -> (process, payload, deadline)
+        active: Dict[int, Tuple[object, Tuple[int, str, str, AnyConfig], float]] = {}
+
+        def _fail_record(payload, kind: str, message: str) -> SweepRecord:
+            _index, label, digest, config = payload
+            return SweepRecord(
+                label=label,
+                config_hash=digest,
+                seed=config.seed,
+                ok=False,
+                error=message,
+                error_kind=kind,
+                elapsed=timeout if kind == "timeout" else 0.0,
+            )
+
+        def _drain() -> Dict[int, SweepRecord]:
+            drained: Dict[int, SweepRecord] = {}
+            while True:
+                try:
+                    index, record = results.get_nowait()
+                except queue_module.Empty:
+                    return drained
+                drained[index] = record
+
+        def _finish(index: int, record: SweepRecord) -> None:
+            proc, _payload, _deadline = active.pop(index)
+            proc.join()
+            collect(index, record)
+
+        try:
+            while todo or active:
+                # Replenish: keep `limit` children running while work remains.
+                while todo and len(active) < limit:
+                    payload = todo.pop(0)
+                    proc = ctx.Process(
+                        target=_execute_case_to_queue, args=(payload, results)
+                    )
+                    proc.daemon = True
+                    proc.start()
+                    active[payload[0]] = (proc, payload, time.monotonic() + timeout)
+
+                # Block until a record arrives or the nearest deadline passes.
+                nearest = min(deadline for _, _, deadline in active.values())
+                wait = min(0.5, max(0.01, nearest - time.monotonic()))
+                try:
+                    index, record = results.get(True, wait)
+                    _finish(index, record)
+                    continue
+                except queue_module.Empty:
+                    pass
+
+                now = time.monotonic()
+                drained: Dict[int, SweepRecord] = {}
+                for index in list(active):
+                    proc, payload, deadline = active[index]
+                    if now >= deadline:
+                        # A record racing the deadline through the queue
+                        # still wins; otherwise kill and record the timeout.
+                        drained.update(_drain())
+                        if index in drained:
+                            _finish(index, drained.pop(index))
+                            continue
+                        proc.kill()
+                        _finish(
+                            index,
+                            _fail_record(
+                                payload,
+                                "timeout",
+                                f"timeout: case exceeded {timeout:g}s and was killed",
+                            ),
+                        )
+                    elif proc.exitcode is not None:
+                        # The child exited; its record may still be in flight.
+                        drained.update(_drain())
+                        if index in drained:
+                            _finish(index, drained.pop(index))
+                        elif proc.exitcode != 0:
+                            _finish(
+                                index,
+                                _fail_record(
+                                    payload,
+                                    "lost",
+                                    "lost: worker process died with exit code "
+                                    f"{proc.exitcode} before reporting a record",
+                                ),
+                            )
+                        # A clean exit with no record yet means the record is
+                        # still flushing through the queue; the next loop turn
+                        # (bounded by the case deadline) picks it up.
+                for index, record in drained.items():
+                    if index in active:
+                        _finish(index, record)
+        except BaseException:
+            for proc, _payload, _deadline in active.values():
+                proc.kill()
+                proc.join()
+            raise
+        finally:
+            results.close()
+            results.join_thread()
 
     def run_labelled(self, cases: Cases) -> Dict[str, WorkflowResult]:
         """Run the sweep and return ``{label: WorkflowResult}`` per executed case.

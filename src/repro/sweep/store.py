@@ -15,12 +15,23 @@ the elastic rebalance timeline — is documented in ``docs/sweep-format.md``.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.workflow.result import WorkflowResult
 
-__all__ = ["BatchWriter", "ResultStore", "result_payload"]
+__all__ = ["BatchWriter", "ResultStore", "VOLATILE_KEYS", "result_payload"]
+
+#: Record fields excluded from the canonical merged view: wall-clock noise
+#: (``elapsed``) and the campaign provenance stamps (``shard``/``attempt``/
+#: ``worker``/``poisoned``) that a single-host run never writes.  Dropping
+#: them makes a distributed campaign's canonical bytes comparable to a
+#: single-host sweep of the same spec (see ``docs/campaigns.md``).
+VOLATILE_KEYS: FrozenSet[str] = frozenset(
+    {"elapsed", "shard", "attempt", "worker", "poisoned"}
+)
 
 
 def result_payload(result: WorkflowResult) -> Dict[str, object]:
@@ -80,22 +91,76 @@ class ResultStore:
     def __repr__(self) -> str:
         return f"<ResultStore {str(self.path)!r}>"
 
+    @property
+    def quarantine_path(self) -> Path:
+        """Where corrupt mid-file lines are moved (``<store>.quarantine``)."""
+        return self.path.with_name(self.path.name + ".quarantine")
+
     # -- reading -----------------------------------------------------------
-    def iter_records(self) -> Iterator[Dict[str, object]]:
-        """Yield every intact record in file order (corrupt lines are skipped)."""
+    def iter_records(self, heal: bool = True) -> Iterator[Dict[str, object]]:
+        """Yield every intact record in file order.
+
+        Two kinds of damage are tolerated rather than raised:
+
+        * A **torn tail** — the final line lacks its newline (the writer
+          crashed mid-append).  It is skipped here and healed by the next
+          writer, exactly as before.
+        * A **corrupt mid-file line** — a complete line that is not valid
+          JSON or not a record (e.g. a partial disk write that a later
+          append ran past).  With ``heal`` (the default) such lines are
+          moved to :attr:`quarantine_path` with a warning and the store file
+          is rewritten without them, so resume keeps working and the
+          corruption is preserved for inspection instead of silently
+          shadowing records on every read.
+
+        Healing happens when the iterator is exhausted; an abandoned partial
+        iteration quarantines nothing.
+        """
         if not self.path.exists():
             return
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if isinstance(record, dict) and "label" in record:
-                    yield record
+        # Partial disk writes can tear multi-byte sequences, so decode
+        # permissively: a mangled line is quarantined as a unit either way.
+        raw = self.path.read_text(encoding="utf-8", errors="replace")
+        lines = raw.split("\n")
+        torn_tail = bool(lines and lines[-1] != "")
+        if lines and lines[-1] == "":
+            lines.pop()
+        corrupt: List[int] = []
+        for lineno, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            record: object = None
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                record = None
+            if isinstance(record, dict) and "label" in record:
+                yield record
+            elif not (torn_tail and lineno == len(lines) - 1):
+                corrupt.append(lineno)
+        if heal and corrupt:
+            self._quarantine(lines, corrupt, torn_tail)
+
+    def _quarantine(self, lines: List[str], corrupt: List[int], torn_tail: bool) -> None:
+        """Move corrupt mid-file lines aside and rewrite the store without them."""
+        bad = set(corrupt)
+        with self.quarantine_path.open("a", encoding="utf-8") as fh:
+            for lineno in corrupt:
+                fh.write(lines[lineno] + "\n")
+        keep = [line for lineno, line in enumerate(lines) if lineno not in bad]
+        text = "\n".join(keep)
+        if keep and not torn_tail:
+            text += "\n"
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.path)
+        warnings.warn(
+            f"{self.path}: quarantined {len(corrupt)} corrupt mid-file "
+            f"record(s) into {self.quarantine_path.name}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def load(self) -> List[Dict[str, object]]:
         """Every intact record as a list (see :meth:`iter_records`)."""
@@ -121,6 +186,68 @@ class ResultStore:
             if record.get("label") == label and record.get("config_hash") == config_hash:
                 found = record
         return found
+
+    # -- canonical view and merging ----------------------------------------
+    def canonical_records(
+        self, volatile: FrozenSet[str] = VOLATILE_KEYS
+    ) -> List[Dict[str, object]]:
+        """The store's order- and provenance-independent merged record set.
+
+        One record per resume key — the latest ``ok`` record if any (an
+        earlier failed attempt never shadows the retry that succeeded), else
+        the latest record — sorted by key, with the ``volatile`` fields
+        dropped.  Two stores that executed the same scenarios hold equal
+        canonical records regardless of completion order, retries, or which
+        host ran which shard.
+        """
+        latest: Dict[Tuple[str, str], Dict[str, object]] = {}
+        for record in self.iter_records():
+            key = (str(record.get("label")), str(record.get("config_hash", "")))
+            previous = latest.get(key)
+            if (
+                previous is None
+                or record.get("ok", True)
+                or not previous.get("ok", True)
+            ):
+                latest[key] = record
+        return [
+            {k: v for k, v in latest[key].items() if k not in volatile}
+            for key in sorted(latest)
+        ]
+
+    def canonical_bytes(self, volatile: FrozenSet[str] = VOLATILE_KEYS) -> bytes:
+        """The canonical record set serialised as deterministic JSONL bytes.
+
+        This is the byte-identity artefact of ``docs/campaigns.md``: a
+        distributed campaign's store and a single-host sweep's store of the
+        same spec serialise to equal bytes here.
+        """
+        lines = [
+            json.dumps(record, sort_keys=True)
+            for record in self.canonical_records(volatile)
+        ]
+        return ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+
+    def merge_from(self, other: "ResultStore") -> int:
+        """Append ``other``'s records this store has no completed result for.
+
+        The offline counterpart of the campaign coordinator's streaming
+        merge: completed keys are never duplicated, failed attempts of keys
+        already completed here are dropped, and everything else (including
+        failures worth retrying) is appended verbatim.  Returns the number
+        of records appended.
+        """
+        done = self.completed_keys()
+        appended = 0
+        for record in other.iter_records():
+            key = (str(record.get("label")), str(record.get("config_hash", "")))
+            if key in done:
+                continue
+            self.append(record)
+            appended += 1
+            if record.get("ok", True):
+                done.add(key)
+        return appended
 
     # -- writing -----------------------------------------------------------
     def _torn_tail(self) -> bool:

@@ -1,0 +1,393 @@
+"""Tests of the distributed campaign layer (board, protocol, end-to-end)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.campaign import (
+    BackoffPolicy,
+    Campaign,
+    CampaignWorker,
+    CoordinatorClient,
+    CoordinatorServer,
+    CoordinatorUnreachable,
+    WorkBoard,
+    campaign_cases,
+    resolve_spec,
+    spec_descriptor,
+)
+from repro.sweep import ResultStore, SweepRunner
+from repro.sweep.spec import SweepCase
+
+
+class FakeClock:
+    """Injectable monotonic clock for deterministic lease-expiry tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _board(n=4, **kwargs) -> WorkBoard:
+    clock = kwargs.pop("clock", FakeClock())
+    cases = [(f"case-{i}", f"hash-{i}") for i in range(n)]
+    return WorkBoard(cases, clock=clock, **kwargs)
+
+
+class TestBackoffPolicy:
+    def test_schedule_is_deterministic_across_instances(self):
+        a = BackoffPolicy(seed=7).schedule("case", 5)
+        b = BackoffPolicy(seed=7).schedule("case", 5)
+        assert a == b
+
+    def test_delays_grow_and_cap(self):
+        policy = BackoffPolicy(base_seconds=1.0, multiplier=2.0, cap_seconds=4.0, jitter=0.0)
+        assert policy.schedule("x", 4) == [1.0, 2.0, 4.0, 4.0]
+
+    def test_jitter_stays_within_bounds_and_decorrelates_labels(self):
+        policy = BackoffPolicy(base_seconds=1.0, multiplier=1.0, jitter=0.25)
+        delays = {label: policy.delay(label, 1) for label in ("a", "b", "c", "d")}
+        assert all(0.75 <= d <= 1.25 for d in delays.values())
+        assert len(set(delays.values())) > 1
+
+    def test_seed_changes_the_schedule(self):
+        assert BackoffPolicy(seed=1).schedule("x", 3) != BackoffPolicy(seed=2).schedule("x", 3)
+
+
+class TestWorkBoard:
+    def test_leases_hand_out_shards_in_spec_order(self):
+        board = _board(5, shard_size=2)
+        first = board.lease("w1")
+        second = board.lease("w2")
+        assert first.indices == (0, 1) and second.indices == (2, 3)
+        assert not first.speculative
+        assert board.counts()["leased"] == 4
+
+    def test_expired_lease_is_reclaimed_and_reissued(self):
+        clock = FakeClock()
+        board = _board(2, shard_size=2, lease_seconds=10.0, clock=clock)
+        first = board.lease("w1")
+        clock.advance(10.1)
+        second = board.lease("w2")
+        assert second is not None and not second.speculative
+        assert second.indices == first.indices
+        assert board.leases_expired == 1
+        assert first.lease_id not in board.leases
+
+    def test_heartbeat_extends_the_deadline(self):
+        clock = FakeClock()
+        board = _board(2, shard_size=2, lease_seconds=10.0, clock=clock)
+        lease = board.lease("w1")
+        clock.advance(9.0)
+        assert board.heartbeat(lease.lease_id)
+        clock.advance(9.0)
+        assert board.reclaim_expired() == []
+        assert lease.lease_id in board.leases
+
+    def test_heartbeat_of_unknown_lease_says_abandon(self):
+        assert not _board().heartbeat("L999999")
+
+    def test_idle_worker_steals_a_speculative_duplicate(self):
+        board = _board(2, shard_size=2)
+        primary = board.lease("w1")
+        stolen = board.lease("w2")
+        assert stolen.speculative and stolen.origin == primary.lease_id
+        assert stolen.indices == primary.indices
+        assert board.leases_stolen == 1
+        # The straggler's lease is not duplicated twice.
+        assert board.lease("w3") is None
+
+    def test_own_lease_is_not_stolen(self):
+        board = _board(2, shard_size=2)
+        board.lease("w1")
+        assert board.lease("w1") is None
+
+    def test_first_result_wins_and_duplicate_is_dropped(self):
+        board = _board(1, shard_size=1)
+        board.lease("w1")
+        board.lease("w2")  # speculative copy
+        assert board.record_result("case-0", "hash-0", ok=True) == "done"
+        assert board.record_result("case-0", "hash-0", ok=True) == "duplicate"
+        assert board.duplicates_dropped == 1
+        assert board.complete
+
+    def test_transient_failure_retries_after_backoff(self):
+        clock = FakeClock()
+        board = _board(
+            1,
+            shard_size=1,
+            clock=clock,
+            backoff=BackoffPolicy(base_seconds=2.0, jitter=0.0),
+        )
+        board.lease("w1")
+        action = board.record_result("case-0", "hash-0", ok=False, error_kind="transient")
+        assert action == "retry"
+        assert board.retries_scheduled == 1
+        # Backoff holds the case: nothing leasable until the delay passes.
+        for lease_id in list(board.leases):
+            board.release(lease_id)
+        assert board.lease("w2") is None
+        assert board.next_retry_in() == pytest.approx(2.0)
+        clock.advance(2.1)
+        assert board.lease("w2") is not None
+
+    def test_attempt_budget_exhaustion_poisons(self):
+        clock = FakeClock()
+        board = _board(
+            1,
+            shard_size=1,
+            max_attempts=2,
+            clock=clock,
+            backoff=BackoffPolicy(base_seconds=0.0, jitter=0.0),
+        )
+        board.lease("w1")
+        assert board.record_result("case-0", "hash-0", False, "timeout") == "retry"
+        board.lease("w1")
+        assert board.record_result("case-0", "hash-0", False, "timeout") == "poisoned"
+        assert board.complete
+        assert board.poisoned() == [("case-0", "hash-0", "timeout")]
+
+    def test_permanent_failure_poisons_immediately(self):
+        board = _board(1, shard_size=1, max_attempts=5)
+        board.lease("w1")
+        assert board.record_result("case-0", "hash-0", False, "permanent") == "poisoned"
+        assert board.poisoned() == [("case-0", "hash-0", "permanent")]
+
+    def test_unknown_key_is_reported(self):
+        assert _board().record_result("nope", "nope", True) == "unknown"
+
+    def test_resume_seeding_marks_entries(self):
+        board = _board(3)
+        assert board.mark_done("case-0", "hash-0")
+        assert board.mark_poisoned("case-1", "hash-1")
+        board.restore_attempts("case-2", "hash-2", 2)
+        counts = board.counts()
+        assert counts["done"] == 1 and counts["poisoned"] == 1
+        assert board.entries[2].attempts == 2
+        assert not board.mark_done("missing", "missing")
+
+    def test_duplicate_case_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkBoard([("a", "h"), ("a", "h")])
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        import json
+
+        board = _board(2, shard_size=1)
+        board.lease("w1")
+        board.record_result("case-0", "hash-0", True)
+        snapshot = board.snapshot()
+        assert json.dumps(snapshot)
+        assert snapshot["counts"]["done"] == 1
+        assert snapshot["counters"]["leases_issued"] == 1
+
+
+def _tiny_descriptor():
+    return spec_descriptor("figure2", steps=2, sim_ranks=2)
+
+
+class TestProtocol:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            spec_descriptor("figure99")
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="knob"):
+            spec_descriptor("figure2", step=3)
+
+    def test_version_mismatch_rejected(self):
+        descriptor = _tiny_descriptor()
+        descriptor["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            resolve_spec(descriptor)
+
+    def test_both_sides_expand_the_same_grid(self):
+        first = [(c.label, c.config_digest) for c in campaign_cases(_tiny_descriptor())]
+        second = [(c.label, c.config_digest) for c in campaign_cases(_tiny_descriptor())]
+        assert first == second and len(first) == 9
+
+    def test_unreachable_coordinator_raises_typed_error(self):
+        client = CoordinatorClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(CoordinatorUnreachable):
+            client.status()
+
+
+def _serial_baseline(tmp_path):
+    """The single-host store a campaign's canonical view must reproduce."""
+    store = ResultStore(tmp_path / "serial.jsonl")
+    SweepRunner(workers=0, store=store, trace=False).run(resolve_spec(_tiny_descriptor()))
+    return store
+
+
+def _run_campaign(campaign, worker_count=2, **worker_kwargs):
+    """Drive a campaign to completion with in-process worker threads."""
+    with CoordinatorServer(campaign) as server:
+        workers = [
+            CampaignWorker(server.url, name=f"t{i}", **worker_kwargs)
+            for i in range(worker_count)
+        ]
+        threads = [threading.Thread(target=w.run, daemon=True) for w in workers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not any(thread.is_alive() for thread in threads)
+    return workers
+
+
+class TestCampaignEndToEnd:
+    def test_campaign_store_matches_single_host_run(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        campaign = Campaign(_tiny_descriptor(), store, shard_size=2, lease_seconds=10.0)
+        _run_campaign(campaign)
+        assert campaign.board.counts()["done"] == 9
+        assert store.canonical_bytes() == _serial_baseline(tmp_path).canonical_bytes()
+
+    def test_transient_failures_retry_and_converge(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        campaign = Campaign(
+            _tiny_descriptor(),
+            store,
+            shard_size=2,
+            lease_seconds=10.0,
+            backoff=BackoffPolicy(base_seconds=0.01, jitter=0.0),
+        )
+        failed_once = set()
+        guard = threading.Lock()
+
+        def fail_first_attempt(label: str) -> None:
+            with guard:
+                if label not in failed_once:
+                    failed_once.add(label)
+                    raise OSError(f"injected transient fault in {label}")
+
+        _run_campaign(campaign, failure_hook=fail_first_attempt)
+        assert campaign.board.counts() == {
+            "total": 9, "pending": 0, "leased": 0, "done": 9, "poisoned": 0,
+        }
+        assert campaign.board.retries_scheduled == 9
+        # Failed attempts never shadow the retry that succeeded.
+        assert store.canonical_bytes() == _serial_baseline(tmp_path).canonical_bytes()
+
+    def test_permanent_failure_is_poisoned_not_retried(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        campaign = Campaign(_tiny_descriptor(), store, shard_size=2, lease_seconds=10.0)
+        victim = campaign.cases[0].label
+
+        def always_crash(label: str) -> None:
+            if label == victim:
+                raise ValueError("deterministic scenario bug")
+
+        _run_campaign(campaign, failure_hook=always_crash)
+        counts = campaign.board.counts()
+        assert counts["done"] == 8 and counts["poisoned"] == 1
+        assert campaign.board.retries_scheduled == 0
+        poison = [r for r in store.load() if r.get("poisoned")]
+        assert len(poison) == 1
+        assert poison[0]["label"] == victim
+        assert poison[0]["error_kind"] == "permanent"
+        assert poison[0]["attempt"] == 1
+
+    def test_resume_skips_stored_records(self, tmp_path):
+        serial = _serial_baseline(tmp_path)
+        partial = ResultStore(tmp_path / "partial.jsonl")
+        for record in serial.load()[:4]:
+            partial.append(record)
+
+        campaign = Campaign(_tiny_descriptor(), partial, shard_size=2, lease_seconds=10.0)
+        assert campaign.board.counts()["done"] == 4
+        workers = _run_campaign(campaign, worker_count=1)
+        assert campaign.board.counts()["done"] == 9
+        assert workers[0].cases_run == 5  # only the missing cases re-ran
+        assert partial.canonical_bytes() == serial.canonical_bytes()
+
+    def test_fully_stored_campaign_is_complete_at_boot(self, tmp_path):
+        serial = _serial_baseline(tmp_path)
+        campaign = Campaign(_tiny_descriptor(), serial)
+        assert campaign.complete
+
+    def test_coordinator_restart_midway_resumes_same_port(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        campaign = Campaign(_tiny_descriptor(), store, shard_size=1, lease_seconds=3.0)
+        server = CoordinatorServer(campaign).start()
+        port = server.httpd.server_address[1]
+        url = server.url
+
+        worker = CampaignWorker(url, name="survivor", throttle_seconds=0.05,
+                                give_up_seconds=30.0)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+
+        # Let a few records land, then kill the coordinator mid-campaign.
+        pacer = threading.Event()
+        while campaign.records_merged < 2 and thread.is_alive():
+            pacer.wait(0.02)
+        server.stop()
+        merged_before = campaign.records_merged
+        assert merged_before >= 2
+
+        # A fresh coordinator on the same port resumes from the store alone.
+        revived = Campaign(_tiny_descriptor(), store, shard_size=1, lease_seconds=3.0)
+        assert revived.board.counts()["done"] >= merged_before
+        with CoordinatorServer(revived, port=port):
+            thread.join(60)
+        assert not thread.is_alive()
+        assert revived.board.counts()["done"] == 9
+        assert store.canonical_bytes() == _serial_baseline(tmp_path).canonical_bytes()
+
+    def test_spec_drift_aborts_the_worker_loudly(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        campaign = Campaign(_tiny_descriptor(), store, shard_size=2)
+        # Simulate version skew: the coordinator leases an identity the
+        # worker's locally expanded grid does not contain.
+        campaign.cases[0] = SweepCase("tampered", campaign.cases[0].config)
+        with CoordinatorServer(campaign) as server:
+            with pytest.raises(RuntimeError, match="spec drift"):
+                CampaignWorker(server.url, name="drifted").run()
+        assert store.load() == []
+
+
+class TestCampaignCLI:
+    def test_sweep_cli_dispatches_campaign_subcommand(self):
+        from repro.sweep.cli import main
+
+        assert main(["campaign", "status", "http://127.0.0.1:9"]) == 3
+
+    def test_serve_times_out_with_exit_code_5(self, tmp_path, capsys):
+        from repro.campaign.cli import main
+
+        code = main([
+            "serve", "figure2", "--steps", "2", "--sim-ranks", "2",
+            "--store", str(tmp_path / "c.jsonl"), "--max-seconds", "0.3",
+        ])
+        assert code == 5
+        captured = capsys.readouterr()
+        assert "listening on" in captured.out
+        assert "timed out" in captured.err
+
+    def test_serve_resume_of_complete_store_exits_clean(self, tmp_path, capsys):
+        from repro.campaign.cli import main
+
+        serial = _serial_baseline(tmp_path)
+        code = main([
+            "serve", "figure2", "--steps", "2", "--sim-ranks", "2",
+            "--store", str(serial.path),
+        ])
+        assert code == 0
+        assert "done=9 poisoned=0" in capsys.readouterr().out
+
+    def test_status_of_live_coordinator(self, tmp_path, capsys):
+        from repro.campaign.cli import main
+
+        campaign = Campaign(_tiny_descriptor(), tmp_path / "c.jsonl")
+        with CoordinatorServer(campaign) as server:
+            assert main(["status", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "0/9 done" in out and "9 pending" in out

@@ -1,0 +1,142 @@
+"""Chaos test: SIGKILL workers and the coordinator mid-campaign.
+
+The tentpole guarantee under test: a campaign whose processes are killed at
+random instants — including the coordinator itself — still converges, and
+the merged store's canonical view is byte-identical to a single-host run of
+the same spec.  Real subprocesses, real SIGKILLs, one seeded RNG.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.campaign.protocol import resolve_spec, spec_descriptor
+from repro.sweep import ResultStore, SweepRunner
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+FIGURE_ARGS = ["figure2", "--steps", "2", "--sim-ranks", "2"]
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _spawn(*args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.sweep", "campaign", *args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _wait_until(predicate, timeout: float, pause: float = 0.05) -> bool:
+    """Poll ``predicate`` without busy-waiting until it holds or time runs out."""
+    pacer = threading.Event()
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        pacer.wait(pause)
+    return predicate()
+
+
+def _ok_lines(store: ResultStore) -> int:
+    try:
+        return sum(1 for record in store.iter_records(heal=False) if record.get("ok", True))
+    except OSError:
+        return 0
+
+
+def _drain(proc: subprocess.Popen, timeout: float = 30.0) -> str:
+    try:
+        out, _err = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out, _err = proc.communicate()
+    return out or ""
+
+
+class TestCampaignChaos:
+    def test_killed_workers_and_coordinator_still_converge(self, tmp_path):
+        rng = random.Random(20260808)
+        port = _free_port()
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        serve_args = [
+            "serve", *FIGURE_ARGS,
+            "--store", str(store.path), "--host", "127.0.0.1", "--port", str(port),
+            "--shard-size", "2", "--lease-seconds", "2", "--backoff-base", "0.05",
+            "--max-seconds", "120",
+        ]
+        work_args = [
+            f"http://127.0.0.1:{port}",
+            "--throttle-seconds", "0.25", "--give-up-seconds", "60",
+        ]
+
+        coordinator = _spawn(*serve_args)
+        procs = [coordinator]
+        try:
+            assert _wait_until(lambda: _ok_lines(store) >= 0 and coordinator.poll() is None, 5)
+            workers = [
+                _spawn("work", *work_args, "--name", f"chaos-w{i}") for i in range(2)
+            ]
+            procs.extend(workers)
+
+            # Phase 1: let a couple of records land, then SIGKILL one worker
+            # mid-shard at a seeded-random instant and respawn it.
+            assert _wait_until(lambda: _ok_lines(store) >= 2, 60), "no early progress"
+            threading.Event().wait(rng.uniform(0.0, 0.3))
+            victim = workers[rng.randrange(len(workers))]
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(10)
+            replacement = _spawn("work", *work_args, "--name", "chaos-respawn")
+            procs.append(replacement)
+
+            # Phase 2: once more progress lands, SIGKILL the coordinator and
+            # restart it on the same port against the same store.  Workers
+            # must ride out the outage.
+            assert _wait_until(lambda: _ok_lines(store) >= 4, 60), "no mid progress"
+            coordinator.send_signal(signal.SIGKILL)
+            coordinator.wait(10)
+            coordinator = _spawn(*serve_args)
+            procs.append(coordinator)
+
+            # Everything drains: coordinator exits 0 once all 9 cases landed.
+            assert _wait_until(lambda: coordinator.poll() is not None, 90), (
+                "resumed coordinator did not finish; store has "
+                f"{_ok_lines(store)} ok records"
+            )
+            serve_out = _drain(coordinator)
+            assert coordinator.returncode == 0, serve_out
+            assert "done=9 poisoned=0" in serve_out
+            for worker in procs[1:]:
+                if worker is coordinator or worker.poll() == -signal.SIGKILL:
+                    continue
+                assert _wait_until(lambda w=worker: w.poll() is not None, 60)
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(10)
+                if proc.stdout is not None:
+                    proc.stdout.close()
+
+        # The tentpole guarantee: canonical bytes equal a single-host run.
+        baseline = ResultStore(tmp_path / "serial.jsonl")
+        SweepRunner(workers=0, store=baseline, trace=False).run(
+            resolve_spec(spec_descriptor("figure2", steps=2, sim_ranks=2))
+        )
+        assert store.canonical_bytes() == baseline.canonical_bytes()

@@ -18,6 +18,7 @@ REQUIRED_DOCS = (
     "docs/transports.md",
     "docs/pipelines.md",
     "docs/sweep-format.md",
+    "docs/campaigns.md",
     "docs/figures.md",
     "docs/elastic.md",
     "docs/faults.md",
@@ -35,6 +36,7 @@ DOCSTRINGED_PACKAGES = (
     "faults",
     "workflow",
     "sweep",
+    "campaign",
     "perfmodel",
     "lint",
     "tenants",

@@ -454,3 +454,271 @@ class TestPersistentPool:
         with SweepRunner(workers=0, trace=False) as runner:
             runner.run([("case", small_config())])
             assert runner._pool is None
+
+
+class TestErrorClassification:
+    def test_transient_vs_permanent_taxonomy(self):
+        from repro.sweep import classify_error
+
+        assert classify_error(OSError("disk")) == "transient"
+        assert classify_error(MemoryError()) == "transient"
+        assert classify_error(ConnectionResetError()) == "transient"  # OSError subclass
+        assert classify_error(ValueError("bad config")) == "permanent"
+        assert classify_error(KeyError("field")) == "permanent"
+
+    def test_crashed_record_carries_its_kind(self):
+        records = run_cases([("bad", small_config(transport="no-such-transport"))])
+        assert records[0].error_kind == "permanent"
+        assert records[0].payload()["error_kind"] == "permanent"
+
+    def test_successful_payload_has_no_error_kind_field(self):
+        records = run_cases([("good", small_config())])
+        assert "error_kind" not in records[0].payload()
+
+
+def _hang_or_run(config):
+    """Stand-in workflow runner: hang on the sentinel config, else run."""
+    import threading
+
+    from repro.workflow.runner import run_workflow
+
+    if config.total_cores == 17:  # the sentinel "hung scenario"
+        threading.Event().wait(120)
+    return run_workflow(config)
+
+
+def _exit_or_run(config):
+    """Stand-in workflow runner: die without reporting on the sentinel."""
+    import os
+
+    from repro.workflow.runner import run_workflow
+
+    if config.total_cores == 17:
+        os._exit(3)
+    return run_workflow(config)
+
+
+class TestCaseTimeout:
+    """The per-case timeout satellite: hung scenarios die, the sweep lives."""
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError, match="case_timeout_seconds"):
+            SweepRunner(case_timeout_seconds=0)
+
+    def test_hung_case_is_killed_and_recorded(self, monkeypatch):
+        import repro.sweep.runner as runner_module
+
+        # Children are forked, so patching the parent's module reaches them.
+        monkeypatch.setattr(
+            runner_module,
+            "_execute_case",
+            _patched_execute(_hang_or_run),
+        )
+        runner = SweepRunner(workers=2, trace=False, case_timeout_seconds=1.0)
+        cases = [("hung", small_config(total_cores=17))] + [
+            (f"good-{i}", small_config(seed=i + 1)) for i in range(3)
+        ]
+        records = {r.label: r for r in runner.run(cases)}
+        assert len(records) == 4  # the slot was replenished, nothing stalled
+        assert not records["hung"].ok
+        assert records["hung"].error_kind == "timeout"
+        assert "killed" in records["hung"].error
+        assert all(records[f"good-{i}"].ok for i in range(3))
+
+    def test_worker_death_is_recorded_as_lost(self, monkeypatch):
+        import repro.sweep.runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module,
+            "_execute_case",
+            _patched_execute(_exit_or_run),
+        )
+        runner = SweepRunner(workers=0, trace=False, case_timeout_seconds=30.0)
+        records = {
+            r.label: r
+            for r in runner.run(
+                [("dies", small_config(total_cores=17)), ("good", small_config())]
+            )
+        }
+        assert not records["dies"].ok
+        assert records["dies"].error_kind == "lost"
+        assert "exit code 3" in records["dies"].error
+        assert records["good"].ok
+
+    def test_timeout_path_matches_pool_results(self):
+        cases = [(f"case-{i}", small_config(seed=i + 1)) for i in range(3)]
+        plain = {r.label: r for r in SweepRunner(workers=0, trace=False).run(cases)}
+        timed = {
+            r.label: r
+            for r in SweepRunner(
+                workers=2, trace=False, case_timeout_seconds=60.0
+            ).run(cases)
+        }
+        for label in plain:
+            assert timed[label].ok
+            assert timed[label].result.stats == plain[label].result.stats
+
+
+def _patched_execute(workflow_runner):
+    """An ``_execute_case`` substitute routing workflows through ``workflow_runner``."""
+    import time as time_module
+    import traceback as traceback_module
+
+    from repro.sweep.runner import SweepRecord, classify_error
+
+    def execute(payload):
+        index, label, digest, config = payload
+        record = SweepRecord(label=label, config_hash=digest, seed=config.seed)
+        start = time_module.perf_counter()
+        try:
+            record.result = workflow_runner(config)
+        except Exception as exc:  # noqa: BLE001 - mirrors the real executor
+            record.ok = False
+            record.error = traceback_module.format_exc(limit=8)
+            record.error_kind = classify_error(exc)
+        record.elapsed = time_module.perf_counter() - start
+        return index, record
+
+    return execute
+
+
+class TestPoolInterruptCleanup:
+    """Regression: a KeyboardInterrupt mid-run must terminate pool workers."""
+
+    def test_interrupt_during_pool_run_releases_the_pool(self):
+        class Interrupt(KeyboardInterrupt):
+            pass
+
+        def interrupt(record, done, total):
+            raise Interrupt()
+
+        runner = SweepRunner(workers=2, trace=False, progress=interrupt)
+        cases = [(f"case-{i}", small_config(seed=i + 1)) for i in range(4)]
+        with pytest.raises(Interrupt):
+            runner.run(cases)
+        # The pool was terminated, not leaked: no live pool remains.
+        assert runner._pool is None
+
+    def test_interrupt_during_timeout_run_kills_children(self):
+        class Interrupt(KeyboardInterrupt):
+            pass
+
+        def interrupt(record, done, total):
+            raise Interrupt()
+
+        runner = SweepRunner(
+            workers=2, trace=False, progress=interrupt, case_timeout_seconds=60.0
+        )
+        cases = [(f"case-{i}", small_config(seed=i + 1)) for i in range(4)]
+        with pytest.raises(Interrupt):
+            runner.run(cases)
+
+
+class TestQuarantine:
+    """The mid-file corruption satellite: bad lines move aside, loudly."""
+
+    def payload(self, label):
+        return {"label": label, "config_hash": f"h-{label}", "ok": True}
+
+    def test_mid_file_corruption_is_quarantined_with_warning(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        store.append(self.payload("a"))
+        with store.path.open("a") as fh:
+            fh.write("GARBAGE not json\n")
+            fh.write('["a", "list", "not", "a", "record"]\n')
+        store.append(self.payload("b"))
+
+        with pytest.warns(RuntimeWarning, match="quarantined 2"):
+            records = store.load()
+        assert [r["label"] for r in records] == ["a", "b"]
+        quarantined = store.quarantine_path.read_text().splitlines()
+        assert quarantined == ["GARBAGE not json", '["a", "list", "not", "a", "record"]']
+
+    def test_healed_store_reads_clean_afterwards(self, tmp_path):
+        import warnings
+
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        store.append(self.payload("a"))
+        with store.path.open("a") as fh:
+            fh.write("GARBAGE\n")
+        with pytest.warns(RuntimeWarning):
+            store.load()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert [r["label"] for r in store.load()] == ["a"]
+        assert "GARBAGE" not in store.path.read_text()
+
+    def test_torn_tail_is_not_quarantined(self, tmp_path):
+        import warnings
+
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        store.append(self.payload("a"))
+        with store.path.open("a") as fh:
+            fh.write('{"label": "torn", "config_')
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert [r["label"] for r in store.load()] == ["a"]
+        assert not store.quarantine_path.exists()
+        # The next writer heals the tear, exactly as before.
+        store.append(self.payload("b"))
+        assert [r["label"] for r in store.iter_records(heal=False)] == ["a", "b"]
+
+    def test_heal_false_leaves_the_file_untouched(self, tmp_path):
+        import warnings
+
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        store.append(self.payload("a"))
+        with store.path.open("a") as fh:
+            fh.write("GARBAGE\n")
+        before = store.path.read_text()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(list(store.iter_records(heal=False))) == 1
+        assert store.path.read_text() == before
+
+
+class TestCanonicalView:
+    """The byte-identity machinery distributed campaigns are checked against."""
+
+    def test_latest_ok_record_wins_per_key(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append({"label": "a", "config_hash": "h", "ok": False, "error": "x"})
+        store.append({"label": "a", "config_hash": "h", "ok": True, "value": 1})
+        store.append({"label": "a", "config_hash": "h", "ok": False, "error": "y"})
+        [record] = store.canonical_records()
+        assert record["ok"] and record["value"] == 1
+
+    def test_volatile_fields_are_dropped(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append(
+            {
+                "label": "a", "config_hash": "h", "ok": True, "value": 1,
+                "elapsed": 1.23, "worker": "w0", "shard": "L1", "attempt": 2,
+            }
+        )
+        [record] = store.canonical_records()
+        assert record == {"label": "a", "config_hash": "h", "ok": True, "value": 1}
+
+    def test_bytes_are_order_and_provenance_independent(self, tmp_path):
+        one = ResultStore(tmp_path / "one.jsonl")
+        two = ResultStore(tmp_path / "two.jsonl")
+        one.append({"label": "a", "config_hash": "h", "ok": True, "v": 1, "elapsed": 0.5})
+        one.append({"label": "b", "config_hash": "h", "ok": True, "v": 2, "elapsed": 0.6})
+        two.append({"label": "b", "config_hash": "h", "ok": True, "v": 2, "worker": "w9"})
+        two.append({"label": "a", "config_hash": "h", "ok": False, "v": 0})
+        two.append({"label": "a", "config_hash": "h", "ok": True, "v": 1, "attempt": 2})
+        assert one.canonical_bytes() == two.canonical_bytes()
+        assert one.canonical_bytes()  # not trivially empty
+
+    def test_merge_from_skips_completed_keys(self, tmp_path):
+        target = ResultStore(tmp_path / "target.jsonl")
+        source = ResultStore(tmp_path / "source.jsonl")
+        target.append({"label": "a", "config_hash": "h", "ok": True, "v": 1})
+        source.append({"label": "a", "config_hash": "h", "ok": True, "v": 99})
+        source.append({"label": "b", "config_hash": "h", "ok": False, "error": "x"})
+        source.append({"label": "c", "config_hash": "h", "ok": True, "v": 3})
+        assert target.merge_from(source) == 2
+        merged = {r["label"]: r for r in target.canonical_records()}
+        assert merged["a"]["v"] == 1  # the completed key was not overwritten
+        assert not merged["b"]["ok"]  # failures worth retrying are carried over
+        assert merged["c"]["v"] == 3
